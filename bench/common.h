@@ -1,0 +1,73 @@
+// Shared helpers for the figure-reproduction benchmarks: table printing,
+// sample-point selection and timed VM creation.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "src/base/strings.h"
+#include "src/core/host.h"
+#include "src/sim/run.h"
+
+namespace bench {
+
+inline void Header(const std::string& figure, const std::string& title,
+                   const std::string& setup) {
+  std::printf("# %s — %s\n", figure.c_str(), title.c_str());
+  std::printf("# setup: %s\n", setup.c_str());
+}
+
+inline void Footnote(const std::string& text) { std::printf("# %s\n", text.c_str()); }
+
+// Samples ~`points` indices out of [1, total], always including 1 and total.
+inline bool Sample(int i, int total, int points = 25) {
+  if (i == 1 || i == total) {
+    return true;
+  }
+  int step = total / points;
+  return step > 0 && i % step == 0;
+}
+
+// Creates a VM and waits for boot; returns (domid, create_ms, boot_ms).
+struct CreateTiming {
+  hv::DomainId domid = hv::kInvalidDomain;
+  double create_ms = 0.0;
+  double boot_ms = 0.0;
+  bool ok = false;
+};
+
+inline CreateTiming CreateBootTimed(sim::Engine& engine, lightvm::Host& host,
+                                    toolstack::VmConfig config) {
+  CreateTiming timing;
+  lv::TimePoint t0 = engine.now();
+  auto domid = sim::RunToCompletion(engine, host.CreateVm(std::move(config)));
+  if (!domid.ok()) {
+    std::fprintf(stderr, "create failed: %s\n", domid.error().message.c_str());
+    return timing;
+  }
+  timing.domid = *domid;
+  timing.create_ms = (engine.now() - t0).ms();
+  lv::TimePoint t1 = engine.now();
+  guests::Guest* guest = host.guest(*domid);
+  if (guest != nullptr) {
+    bool booted = sim::RunUntilCondition(engine, [&] { return guest->booted(); },
+                                         lv::Duration::Seconds(600));
+    if (!booted) {
+      std::fprintf(stderr, "boot timed out for dom%lld\n", (long long)*domid);
+      return timing;
+    }
+    timing.boot_ms = (guest->booted_at() - t1).ms();
+  }
+  timing.ok = true;
+  return timing;
+}
+
+inline toolstack::VmConfig Config(const std::string& name, guests::GuestImage image) {
+  toolstack::VmConfig config;
+  config.name = name;
+  config.image = std::move(image);
+  return config;
+}
+
+}  // namespace bench

@@ -1,0 +1,81 @@
+// Figure 13: migration times for the daytime unikernel vs the number of
+// running VMs. Protocol per the paper: 10 guests are migrated per round and
+// replaced with 10 fresh ones so the source population keeps growing.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/base/stats.h"
+
+namespace {
+
+void Series(lightvm::Mechanisms mechanisms, int total) {
+  sim::Engine engine;
+  lightvm::HostSpec spec = lightvm::HostSpec::Xeon4Core();
+  spec.dom0_cores = 2;
+  lightvm::Host src(&engine, spec, mechanisms);
+  lightvm::Host dst(&engine, spec, mechanisms);
+  if (mechanisms.split) {
+    for (lightvm::Host* h : {&src, &dst}) {
+      h->AddShellFlavor(guests::DaytimeUnikernel().memory, true, 8);
+      h->PrefillShellPool();
+    }
+  }
+  // Hosts are connected back-to-back on a 10 Gbps datacenter link.
+  xnet::Link link(&engine, /*gbps=*/10.0, lv::Duration::MillisF(0.2));
+
+  std::printf("\n## %s\n", mechanisms.label().c_str());
+  std::printf("%-8s %s\n", "n", "migrate_ms");
+
+  std::vector<hv::DomainId> running;
+  int created = 0;
+  for (int round = 0; round * 10 < total; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      bench::CreateTiming t = bench::CreateBootTimed(
+          engine, src,
+          bench::Config(lv::StrFormat("mg%d", created++), guests::DaytimeUnikernel()));
+      if (!t.ok) {
+        return;
+      }
+      running.push_back(t.domid);
+    }
+    lv::Accumulator migrate_ms;
+    for (int i = 0; i < 10; ++i) {
+      size_t victim = static_cast<size_t>(
+          engine.rng().Uniform(0, static_cast<int64_t>(running.size()) - 1));
+      hv::DomainId domid = running[victim];
+      running.erase(running.begin() + static_cast<long>(victim));
+      lv::TimePoint t0 = engine.now();
+      lv::Status s = sim::RunToCompletion(engine, src.MigrateVm(domid, &dst, &link));
+      if (!s.ok()) {
+        std::fprintf(stderr, "migration failed: %s\n", s.error().message.c_str());
+        return;
+      }
+      migrate_ms.Add((engine.now() - t0).ms());
+    }
+    // Replace the migrated guests so the source population is back to size.
+    for (int i = 0; i < 10; ++i) {
+      bench::CreateTiming t = bench::CreateBootTimed(
+          engine, src,
+          bench::Config(lv::StrFormat("mg%d", created++), guests::DaytimeUnikernel()));
+      if (!t.ok) {
+        return;
+      }
+      running.push_back(t.domid);
+    }
+    std::printf("%-8zu %.1f\n", running.size(), migrate_ms.mean());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Figure 13", "migration times vs number of running VMs",
+                "daytime unikernel, 10 migrations per round, two hosts, 10 Gbps link");
+  Series(lightvm::Mechanisms::Xl(), 600);
+  Series(lightvm::Mechanisms::ChaosXs(), 600);
+  Series(lightvm::Mechanisms::ChaosNoxs(), 600);
+  Series(lightvm::Mechanisms::LightVm(), 600);
+  bench::Footnote("paper anchors: LightVM ~60ms flat; chaos[XS] slightly better at low n "
+                  "(noxs device destruction unoptimized); xl grows to seconds");
+  return 0;
+}

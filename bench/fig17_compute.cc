@@ -1,0 +1,115 @@
+// Figures 17 and 18: the lightweight compute service (Amazon-Lambda-like,
+// §7.4). One thousand Python compute requests arrive in an open loop every
+// 250 ms; each spawns a Minipython unikernel that computes for ~0.8 s and is
+// destroyed when done. 250 ms inter-arrivals on 3 guest cores is slightly
+// past full utilization, so a backlog builds; the less control-plane work
+// per VM, the more CPU is left for useful computation.
+//
+// Figure 17: service time of the n-th request. Figure 18 (same run, second
+// table): number of concurrently running VMs over time.
+#include <cstdio>
+#include <memory>
+
+#include "bench/common.h"
+#include "src/base/stats.h"
+
+namespace {
+
+constexpr int kRequests = 1000;
+constexpr lv::Duration kInterArrival = lv::Duration::Millis(250);
+constexpr lv::Duration kJob = lv::Duration::Millis(800);
+
+struct RequestState {
+  lv::TimePoint arrival;
+  lv::TimePoint completed;
+  bool done = false;
+};
+
+sim::Co<void> HandleRequest(sim::Engine* engine, lightvm::Host* host, int id,
+                            RequestState* state, int64_t* concurrent,
+                            lv::TimeSeries* series) {
+  state->arrival = engine->now();
+  auto domid = co_await host->CreateVm(
+      bench::Config(lv::StrFormat("job%d", id), guests::MinipythonUnikernel()));
+  if (!domid.ok()) {
+    co_return;
+  }
+  guests::Guest* guest = host->guest(*domid);
+  co_await guest->WaitBooted();
+  ++*concurrent;
+  series->Record(engine->now(), static_cast<double>(*concurrent));
+  // The job: an approximation of e taking ~0.8 s of guest CPU.
+  co_await guest->Compute(kJob);
+  --*concurrent;
+  series->Record(engine->now(), static_cast<double>(*concurrent));
+  (void)co_await host->DestroyVm(*domid);
+  state->completed = engine->now();
+  state->done = true;
+}
+
+void Run(lightvm::Mechanisms mechanisms, lv::Samples* service_times,
+         lv::TimeSeries* series, std::vector<RequestState>* states) {
+  sim::Engine engine;
+  lightvm::Host host(&engine, lightvm::HostSpec::Xeon4Core(), mechanisms);
+  if (mechanisms.split) {
+    host.AddShellFlavor(guests::MinipythonUnikernel().memory, true, 8);
+    host.PrefillShellPool();
+  }
+  states->assign(kRequests, RequestState{});
+  int64_t concurrent = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    RequestState* state = &(*states)[static_cast<size_t>(i)];
+    engine.Schedule(kInterArrival * static_cast<double>(i),
+                    [&engine, &host, i, state, &concurrent, series] {
+                      engine.Spawn(
+                          HandleRequest(&engine, &host, i, state, &concurrent, series));
+                    });
+  }
+  engine.RunFor(kInterArrival * static_cast<double>(kRequests) +
+                lv::Duration::Seconds(120));
+  for (const RequestState& s : *states) {
+    if (s.done) {
+      service_times->AddDuration(s.completed - s.arrival);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Figure 17 + 18", "compute service under overload",
+                "1000 requests, 250 ms inter-arrivals, ~0.8 s jobs on 3 guest cores");
+
+  for (lightvm::Mechanisms m : {lightvm::Mechanisms::ChaosXs(), lightvm::Mechanisms::LightVm()}) {
+    lv::Samples service_times;
+    lv::TimeSeries series;
+    std::vector<RequestState> states;
+    Run(m, &service_times, &series, &states);
+
+    std::printf("\n## Figure 17 — %s: service time of the n-th request\n",
+                m.label().c_str());
+    std::printf("%-8s %s\n", "n", "service_s");
+    for (int i = 0; i < kRequests; ++i) {
+      if (bench::Sample(i + 1, kRequests) && states[static_cast<size_t>(i)].done) {
+        std::printf("%-8d %.2f\n", i + 1,
+                    (states[static_cast<size_t>(i)].completed -
+                     states[static_cast<size_t>(i)].arrival)
+                        .secs());
+      }
+    }
+
+    std::printf("\n## Figure 18 — %s: concurrently running VMs over time\n",
+                m.label().c_str());
+    std::printf("%-10s %s\n", "time_s", "running_vms");
+    for (int t = 0; t <= 300; t += 15) {
+      std::printf("%-10d %.0f\n", t,
+                  series.At(lv::TimePoint() + lv::Duration::Seconds(t)));
+    }
+    std::printf("# peak concurrency: %.0f, mean service time: %.1f s\n",
+                series.MaxValue(), service_times.mean() / 1000.0);
+  }
+  bench::Footnote("paper shape: both configurations back up under the 6%% overload; "
+                  "LightVM's smaller control-plane footprint keeps completion times "
+                  "~5x lower when 100-200 VMs are backlogged");
+  return 0;
+}

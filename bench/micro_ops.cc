@@ -1,0 +1,114 @@
+// Microbenchmarks (google-benchmark) of the substrate primitives: these
+// measure the *wall-clock* cost of the simulator itself — store operations,
+// hypercalls, coroutine dispatch, full VM creation — i.e. how fast the
+// reproduction runs, not simulated time.
+#include <benchmark/benchmark.h>
+
+#include "src/base/strings.h"
+#include "src/core/host.h"
+#include "src/sim/run.h"
+#include "src/xenstore/store.h"
+
+namespace {
+
+void BM_StoreWrite(benchmark::State& state) {
+  xs::Store store;
+  int64_t i = 0;
+  for (auto _ : state) {
+    (void)store.Write(lv::StrFormat("/local/domain/%lld/name", (long long)(i % 1000)),
+                      "vm", hv::kDom0);
+    ++i;
+  }
+}
+BENCHMARK(BM_StoreWrite);
+
+void BM_StoreWriteWithWatches(benchmark::State& state) {
+  xs::Store store;
+  for (int64_t w = 0; w < state.range(0); ++w) {
+    store.AddWatch(w, lv::StrFormat("/w/%lld", (long long)w), "t");
+  }
+  std::vector<xs::WatchHit> hits;
+  for (auto _ : state) {
+    hits.clear();
+    (void)store.Write("/probe", "v", hv::kDom0, xs::kNoTxn, &hits);
+  }
+}
+BENCHMARK(BM_StoreWriteWithWatches)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_TransactionCommit(benchmark::State& state) {
+  xs::Store store;
+  std::vector<xs::WatchHit> hits;
+  for (auto _ : state) {
+    xs::TxnId txn = store.TxBegin();
+    for (int i = 0; i < 10; ++i) {
+      (void)store.Write(lv::StrFormat("/t/%d", i), "v", hv::kDom0, txn);
+    }
+    (void)store.TxCommit(txn, false, &hits);
+  }
+}
+BENCHMARK(BM_TransactionCommit);
+
+void BM_EngineEventDispatch(benchmark::State& state) {
+  sim::Engine engine;
+  for (auto _ : state) {
+    engine.Schedule(lv::Duration::Nanos(1), [] {});
+    engine.Run();
+  }
+}
+BENCHMARK(BM_EngineEventDispatch);
+
+void BM_CoroutineRoundTrip(benchmark::State& state) {
+  sim::Engine engine;
+  for (auto _ : state) {
+    sim::RunToCompletion(engine, [](sim::Engine& e) -> sim::Co<int> {
+      co_await e.Sleep(lv::Duration::Nanos(1));
+      co_return 1;
+    }(engine));
+  }
+}
+BENCHMARK(BM_CoroutineRoundTrip);
+
+void BM_Hypercall(benchmark::State& state) {
+  sim::Engine engine;
+  sim::CpuScheduler cpu(&engine, 1);
+  hv::Hypervisor hv(&engine, lv::Bytes::GiB(4));
+  sim::ExecCtx ctx{&cpu, 0, sim::kHostOwner};
+  for (auto _ : state) {
+    auto r = sim::RunToCompletion(engine, hv.DomainCreate(ctx));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Hypercall);
+
+void BM_LightVmCreateBoot(benchmark::State& state) {
+  sim::Engine engine;
+  lightvm::Host host(&engine, lightvm::HostSpec::Xeon4Core(),
+                     lightvm::Mechanisms::LightVm());
+  int64_t i = 0;
+  for (auto _ : state) {
+    toolstack::VmConfig config;
+    config.name = lv::StrFormat("vm%lld", (long long)i++);
+    config.image = guests::DaytimeUnikernel();
+    auto domid = sim::RunToCompletion(engine, host.CreateAndBoot(std::move(config)));
+    benchmark::DoNotOptimize(domid);
+  }
+}
+BENCHMARK(BM_LightVmCreateBoot);
+
+void BM_XlCreateBoot(benchmark::State& state) {
+  sim::Engine engine;
+  lightvm::Host host(&engine, lightvm::HostSpec::Xeon4Core(), lightvm::Mechanisms::Xl());
+  int64_t i = 0;
+  for (auto _ : state) {
+    toolstack::VmConfig config;
+    config.name = lv::StrFormat("vm%lld", (long long)i++);
+    config.image = guests::DaytimeUnikernel();
+    auto domid = sim::RunToCompletion(engine, host.CreateAndBoot(std::move(config)));
+    benchmark::DoNotOptimize(domid);
+  }
+}
+BENCHMARK(BM_XlCreateBoot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

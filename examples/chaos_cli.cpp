@@ -1,0 +1,213 @@
+// chaos — the command-line tool (paper §5.1: "we begin by replacing libxl
+// and the corresponding xl command with a streamlined, thin library and
+// command called libchaos and chaos").
+//
+// A scriptable CLI over a LightVM host. Commands are read from argv (one
+// command per argument) or from stdin, one per line:
+//
+//   create <name> <image>     boot a VM from a registry image
+//   cfg <file-or-inline>      boot a VM from an xl.cfg-style config string
+//   list                      list running VMs
+//   save <name>               checkpoint + tear down
+//   restore <name>            bring a checkpoint back
+//   destroy <name>            destroy a VM
+//   mem                       host memory in use
+//   quit
+//
+//   $ ./build/examples/chaos_cli "create web0 daytime" list "save web0"
+//   $ ./build/examples/chaos_cli "restore web0" list "destroy web0" mem
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/core/host.h"
+#include "src/sim/run.h"
+#include "src/toolstack/config.h"
+
+namespace {
+
+class ChaosCli {
+ public:
+  ChaosCli()
+      : host_(&engine_, lightvm::HostSpec::Xeon4Core(), lightvm::Mechanisms::LightVm()) {}
+
+  // Executes one command line; returns false on "quit".
+  bool Execute(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) {
+      return true;
+    }
+    if (cmd == "quit" || cmd == "exit") {
+      return false;
+    }
+    if (cmd == "create") {
+      std::string name;
+      std::string image;
+      in >> name >> image;
+      Create(name, image);
+    } else if (cmd == "cfg") {
+      std::string rest;
+      std::getline(in, rest);
+      CreateFromConfig(rest);
+    } else if (cmd == "list") {
+      List();
+    } else if (cmd == "save") {
+      std::string name;
+      in >> name;
+      Save(name);
+    } else if (cmd == "restore") {
+      std::string name;
+      in >> name;
+      Restore(name);
+    } else if (cmd == "destroy") {
+      std::string name;
+      in >> name;
+      Destroy(name);
+    } else if (cmd == "mem") {
+      std::printf("memory in use: %s\n", host_.MemoryUsed().ToString().c_str());
+    } else {
+      std::printf("unknown command: %s\n", cmd.c_str());
+    }
+    return true;
+  }
+
+ private:
+  void Create(const std::string& name, const std::string& image_name) {
+    auto image = toolstack::ImageByName(image_name);
+    if (!image.ok()) {
+      std::printf("error: %s\n", image.error().message.c_str());
+      return;
+    }
+    toolstack::VmConfig config;
+    config.name = name;
+    config.image = *image;
+    Boot(config);
+  }
+
+  void CreateFromConfig(const std::string& inline_cfg) {
+    // Accept "key=value;key=value" inline shorthand for scripting.
+    std::string text = inline_cfg;
+    for (char& c : text) {
+      if (c == ';') {
+        c = '\n';
+      }
+    }
+    auto config = toolstack::ParseVmConfig(text);
+    if (!config.ok()) {
+      std::printf("error: %s\n", config.error().message.c_str());
+      return;
+    }
+    Boot(*config);
+  }
+
+  void Boot(const toolstack::VmConfig& config) {
+    lv::TimePoint t0 = engine_.now();
+    auto domid = sim::RunToCompletion(engine_, host_.CreateAndBoot(config));
+    if (!domid.ok()) {
+      std::printf("error: %s\n", domid.error().message.c_str());
+      return;
+    }
+    by_name_[config.name] = *domid;
+    std::printf("created dom%lld '%s' (%s) in %s\n", (long long)*domid,
+                config.name.c_str(), config.image.name.c_str(),
+                (engine_.now() - t0).ToString().c_str());
+  }
+
+  void List() {
+    std::printf("%-8s %-16s %-12s %s\n", "domid", "name", "image", "memory");
+    for (const auto& [name, domid] : by_name_) {
+      const toolstack::VmConfig* config = host_.toolstack().config_of(domid);
+      if (config == nullptr) {
+        continue;
+      }
+      std::printf("%-8lld %-16s %-12s %s\n", (long long)domid, name.c_str(),
+                  config->image.name.c_str(), config->image.memory.ToString().c_str());
+    }
+  }
+
+  void Save(const std::string& name) {
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) {
+      std::printf("error: no VM named '%s'\n", name.c_str());
+      return;
+    }
+    lv::TimePoint t0 = engine_.now();
+    auto snap = sim::RunToCompletion(engine_, host_.SaveVm(it->second));
+    if (!snap.ok()) {
+      std::printf("error: %s\n", snap.error().message.c_str());
+      return;
+    }
+    snapshots_[name] = *snap;
+    by_name_.erase(it);
+    std::printf("saved '%s' in %s\n", name.c_str(),
+                (engine_.now() - t0).ToString().c_str());
+  }
+
+  void Restore(const std::string& name) {
+    auto it = snapshots_.find(name);
+    if (it == snapshots_.end()) {
+      std::printf("error: no checkpoint named '%s'\n", name.c_str());
+      return;
+    }
+    lv::TimePoint t0 = engine_.now();
+    auto domid = sim::RunToCompletion(engine_, host_.RestoreVm(it->second));
+    if (!domid.ok()) {
+      std::printf("error: %s\n", domid.error().message.c_str());
+      return;
+    }
+    by_name_[name] = *domid;
+    snapshots_.erase(it);
+    std::printf("restored '%s' as dom%lld in %s\n", name.c_str(), (long long)*domid,
+                (engine_.now() - t0).ToString().c_str());
+  }
+
+  void Destroy(const std::string& name) {
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) {
+      std::printf("error: no VM named '%s'\n", name.c_str());
+      return;
+    }
+    lv::Status s = sim::RunToCompletion(engine_, host_.DestroyVm(it->second));
+    if (!s.ok()) {
+      std::printf("error: %s\n", s.error().message.c_str());
+      return;
+    }
+    by_name_.erase(it);
+    std::printf("destroyed '%s'\n", name.c_str());
+  }
+
+  sim::Engine engine_;
+  lightvm::Host host_;
+  std::map<std::string, hv::DomainId> by_name_;
+  std::map<std::string, toolstack::Snapshot> snapshots_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ChaosCli cli;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      std::printf("chaos> %s\n", argv[i]);
+      if (!cli.Execute(argv[i])) {
+        return 0;
+      }
+    }
+    return 0;
+  }
+  std::string line;
+  std::printf("chaos> ");
+  while (std::getline(std::cin, line)) {
+    if (!cli.Execute(line)) {
+      break;
+    }
+    std::printf("chaos> ");
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Lightweight compute service (paper §7.4): an Amazon-Lambda-like daemon
+// that spawns a Minipython unikernel per request, runs the submitted
+// computation, and destroys the VM when it finishes.
+//
+//   $ ./build/examples/compute_service
+#include <cstdio>
+
+#include "src/base/stats.h"
+#include "src/base/strings.h"
+#include "src/core/host.h"
+#include "src/sim/run.h"
+
+namespace {
+
+struct Request {
+  lv::Duration compute;  // CPU time of the submitted Python program
+  lv::TimePoint arrival;
+  lv::TimePoint done;
+  bool completed = false;
+};
+
+// The Dom0 daemon: receives a compute request, spawns a VM, runs the
+// program, tears the VM down.
+sim::Co<void> RunJob(sim::Engine* engine, lightvm::Host* host, int id, Request* req) {
+  req->arrival = engine->now();
+  toolstack::VmConfig config;
+  config.name = lv::StrFormat("lambda%d", id);
+  config.image = guests::MinipythonUnikernel();
+  auto domid = co_await host->CreateVm(config);
+  if (!domid.ok()) {
+    co_return;
+  }
+  guests::Guest* guest = host->guest(*domid);
+  co_await guest->WaitBooted();
+  co_await guest->Compute(req->compute);
+  (void)co_await host->DestroyVm(*domid);
+  req->done = engine->now();
+  req->completed = true;
+}
+
+}  // namespace
+
+int main() {
+  sim::Engine engine;
+  lightvm::Host host(&engine, lightvm::HostSpec::Xeon4Core(),
+                     lightvm::Mechanisms::LightVm());
+  host.AddShellFlavor(guests::MinipythonUnikernel().memory, true, 8);
+  host.PrefillShellPool();
+
+  // 50 requests arrive every 300 ms; each computes an approximation of e
+  // for ~0.8 s. Three guest cores handle the load with a little headroom.
+  constexpr int kJobs = 50;
+  std::vector<Request> requests(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    requests[static_cast<size_t>(i)].compute = lv::Duration::Millis(800);
+    engine.Schedule(lv::Duration::Millis(300) * static_cast<double>(i),
+                    [&engine, &host, i, &requests] {
+                      engine.Spawn(
+                          RunJob(&engine, &host, i, &requests[static_cast<size_t>(i)]));
+                    });
+  }
+  engine.RunFor(lv::Duration::Seconds(40));
+
+  lv::Samples service_ms;
+  int completed = 0;
+  for (const Request& req : requests) {
+    if (req.completed) {
+      service_ms.AddDuration(req.done - req.arrival);
+      ++completed;
+    }
+  }
+  std::printf("compute service: %d/%d jobs completed\n", completed, kJobs);
+  std::printf("  per-job service time: median %.0f ms, p90 %.0f ms (0.8 s of compute "
+              "+ ~2 ms of VM lifecycle)\n",
+              service_ms.Median(), service_ms.Quantile(0.9));
+  std::printf("  VMs left running: %lld (all destroyed on completion)\n",
+              (long long)host.num_vms());
+  return 0;
+}

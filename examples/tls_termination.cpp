@@ -1,0 +1,90 @@
+// High-density TLS termination (paper §7.3) — including building the Tinyx
+// image with the actual Tinyx build system (§3.2) before booting it.
+//
+//   $ ./build/examples/tls_termination
+#include <cstdio>
+
+#include "src/base/strings.h"
+#include "src/core/host.h"
+#include "src/guests/apps.h"
+#include "src/sim/run.h"
+#include "src/tinyx/builder.h"
+
+int main() {
+  // --- Build a Tinyx image around the TLS proxy -----------------------------
+  tinyx::TinyxBuilder builder(tinyx::PackageDb::DebianBase());
+  tinyx::BuildConfig build;
+  build.app = "tls-proxy";
+  build.kernel_options_to_test = {"IPV6", "NETFILTER", "SOUND", "TMPFS"};
+  auto built = builder.Build(build);
+  if (!built.ok()) {
+    std::fprintf(stderr, "tinyx build failed: %s\n", built.error().message.c_str());
+    return 1;
+  }
+  std::printf("Tinyx build for '%s':\n", built->app.c_str());
+  std::printf("  packages: ");
+  for (const std::string& pkg : built->packages) {
+    std::printf("%s ", pkg.c_str());
+  }
+  std::printf("\n  blacklisted: ");
+  for (const std::string& pkg : built->blacklisted) {
+    std::printf("%s ", pkg.c_str());
+  }
+  std::printf("\n  kernel %s + rootfs %s = image %s, est. memory %s\n",
+              built->kernel_size.ToString().c_str(), built->rootfs_size.ToString().c_str(),
+              built->image_size.ToString().c_str(),
+              built->memory_estimate.ToString().c_str());
+  std::printf("  %d boot tests run; options disabled by testing: ",
+              built->boot_tests_run);
+  for (const std::string& opt : built->options_disabled_by_test) {
+    std::printf("%s ", opt.c_str());
+  }
+  std::printf("\n\n");
+
+  // --- Boot 50 termination endpoints of each flavor and race them ------------
+  sim::Engine engine;
+  struct Row {
+    const char* label;
+    guests::GuestImage image;
+  };
+  Row rows[] = {
+      {"tinyx (built above)", built->ToGuestImage()},
+      {"axtls/lwip unikernel", guests::TlsUnikernel()},
+  };
+  for (const Row& row : rows) {
+    lightvm::Host host(&engine, lightvm::HostSpec::Xeon14Core(),
+                       lightvm::Mechanisms::LightVm());
+    std::vector<std::unique_ptr<guests::TlsServer>> servers;
+    for (int i = 0; i < 50; ++i) {
+      toolstack::VmConfig config;
+      config.name = lv::StrFormat("tls%d", i);
+      config.image = row.image;
+      auto domid = sim::RunToCompletion(engine, host.CreateAndBoot(config));
+      if (!domid.ok()) {
+        return 1;
+      }
+      servers.push_back(std::make_unique<guests::TlsServer>(host.guest(*domid)));
+    }
+    // Each endpoint serves handshakes back-to-back for one second.
+    bool stop = false;
+    for (auto& server : servers) {
+      engine.Spawn([](guests::TlsServer* s, bool* stop) -> sim::Co<void> {
+        while (!*stop) {
+          co_await s->HandleRequest();
+        }
+      }(server.get(), &stop));
+    }
+    engine.RunFor(lv::Duration::Seconds(1));
+    stop = true;
+    engine.RunFor(lv::Duration::Seconds(1));
+    int64_t total = 0;
+    for (const auto& server : servers) {
+      total += server->requests_served();
+    }
+    std::printf("%-22s 50 endpoints served ~%lld handshakes/s\n", row.label,
+                (long long)total);
+  }
+  std::printf("\nThe Linux-stack Tinyx proxies sit near bare-metal throughput; the\n"
+              "lwip unikernel reaches about a fifth of it (paper §7.3).\n");
+  return 0;
+}

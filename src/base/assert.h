@@ -1,0 +1,29 @@
+// Fatal-check macros. These are used for programming-error invariants inside
+// the simulator; recoverable conditions are reported through lv::Result.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define LV_CHECK(cond)                                                                  \
+  do {                                                                                  \
+    if (!(cond)) {                                                                      \
+      std::fprintf(stderr, "LV_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, #cond); \
+      std::abort();                                                                     \
+    }                                                                                   \
+  } while (0)
+
+#define LV_CHECK_MSG(cond, msg)                                                      \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      std::fprintf(stderr, "LV_CHECK failed at %s:%d: %s (%s)\n", __FILE__, __LINE__, \
+                   #cond, msg);                                                      \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (0)
+
+#define LV_UNREACHABLE()                                                            \
+  do {                                                                              \
+    std::fprintf(stderr, "LV_UNREACHABLE hit at %s:%d\n", __FILE__, __LINE__);      \
+    std::abort();                                                                   \
+  } while (0)

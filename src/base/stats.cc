@@ -1,0 +1,102 @@
+#include "src/base/stats.h"
+
+#include <numeric>
+
+namespace lv {
+
+void Accumulator::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+void Samples::Sort() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(xs_.begin(), xs_.end(), 0.0) / static_cast<double>(xs_.size());
+}
+
+double Samples::min() const {
+  LV_CHECK(!xs_.empty());
+  Sort();
+  return xs_.front();
+}
+
+double Samples::max() const {
+  LV_CHECK(!xs_.empty());
+  Sort();
+  return xs_.back();
+}
+
+double Samples::Quantile(double q) const {
+  LV_CHECK(!xs_.empty());
+  LV_CHECK(q >= 0.0 && q <= 1.0);
+  Sort();
+  if (xs_.size() == 1) {
+    return xs_[0];
+  }
+  double pos = q * static_cast<double>(xs_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, xs_.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> Samples::Cdf(int points) const {
+  std::vector<std::pair<double, double>> out;
+  if (xs_.empty() || points <= 0) {
+    return out;
+  }
+  Sort();
+  out.reserve(static_cast<size_t>(points));
+  for (int i = 1; i <= points; ++i) {
+    double frac = static_cast<double>(i) / static_cast<double>(points);
+    size_t idx = static_cast<size_t>(frac * static_cast<double>(xs_.size() - 1));
+    out.emplace_back(xs_[idx], frac);
+  }
+  return out;
+}
+
+double TimeSeries::MaxValue() const {
+  double best = 0.0;
+  for (const auto& [t, v] : points_) {
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+double TimeSeries::At(TimePoint t) const {
+  double v = 0.0;
+  for (const auto& [pt, pv] : points_) {
+    if (pt > t) {
+      break;
+    }
+    v = pv;
+  }
+  return v;
+}
+
+}  // namespace lv

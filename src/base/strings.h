@@ -1,0 +1,23 @@
+// Small string helpers: split/join on XenStore-style '/' paths and printf
+// formatting into std::string.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lv {
+
+// Splits on a single character; empty tokens are dropped (XenStore path
+// semantics: "/local/domain//3" == "/local/domain/3").
+std::vector<std::string> Split(std::string_view s, char sep);
+
+std::string Join(const std::vector<std::string>& parts, char sep);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+bool HasPrefix(std::string_view s, std::string_view prefix);
+
+}  // namespace lv

@@ -1,0 +1,25 @@
+#include "src/base/units.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace lv {
+
+std::string Bytes::ToString() const {
+  char buf[64];
+  if (b_ < 0) {
+    return "-" + Bytes::Count(-b_).ToString();
+  }
+  if (b_ < 1024) {
+    snprintf(buf, sizeof(buf), "%" PRId64 "B", b_);
+  } else if (b_ < 1024 * 1024) {
+    snprintf(buf, sizeof(buf), "%.4gKiB", kib());
+  } else if (b_ < 1024LL * 1024 * 1024) {
+    snprintf(buf, sizeof(buf), "%.4gMiB", mib());
+  } else {
+    snprintf(buf, sizeof(buf), "%.4gGiB", gib());
+  }
+  return buf;
+}
+
+}  // namespace lv

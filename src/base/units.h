@@ -1,0 +1,59 @@
+// Byte-quantity strong type plus page constants shared by the hypervisor
+// memory allocator, guest image descriptions and the migration path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lv {
+
+// A number of bytes. Signed to make subtraction well-defined.
+class Bytes {
+ public:
+  constexpr Bytes() : b_(0) {}
+
+  static constexpr Bytes Count(int64_t b) { return Bytes(b); }
+  static constexpr Bytes KiB(int64_t k) { return Bytes(k * 1024); }
+  static constexpr Bytes MiB(int64_t m) { return Bytes(m * 1024 * 1024); }
+  static constexpr Bytes GiB(int64_t g) { return Bytes(g * 1024 * 1024 * 1024); }
+  static constexpr Bytes KiBF(double k) { return Bytes(static_cast<int64_t>(k * 1024.0)); }
+  static constexpr Bytes MiBF(double m) {
+    return Bytes(static_cast<int64_t>(m * 1024.0 * 1024.0));
+  }
+
+  constexpr int64_t count() const { return b_; }
+  constexpr double kib() const { return static_cast<double>(b_) / 1024.0; }
+  constexpr double mib() const { return static_cast<double>(b_) / (1024.0 * 1024.0); }
+  constexpr double gib() const { return static_cast<double>(b_) / (1024.0 * 1024.0 * 1024.0); }
+
+  constexpr Bytes operator+(Bytes o) const { return Bytes(b_ + o.b_); }
+  constexpr Bytes operator-(Bytes o) const { return Bytes(b_ - o.b_); }
+  constexpr Bytes operator*(int64_t k) const { return Bytes(b_ * k); }
+  constexpr double operator/(Bytes o) const {
+    return static_cast<double>(b_) / static_cast<double>(o.b_);
+  }
+  Bytes& operator+=(Bytes o) {
+    b_ += o.b_;
+    return *this;
+  }
+  Bytes& operator-=(Bytes o) {
+    b_ -= o.b_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Bytes(int64_t b) : b_(b) {}
+  int64_t b_;
+};
+
+// x86 page size used by the simulated hypervisor's allocator.
+inline constexpr Bytes kPageSize = Bytes::KiB(4);
+
+inline constexpr int64_t PagesFor(Bytes b) {
+  return (b.count() + kPageSize.count() - 1) / kPageSize.count();
+}
+
+}  // namespace lv

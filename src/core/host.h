@@ -1,0 +1,122 @@
+// lightvm::Host — the top-level public API of this library.
+//
+// A Host bundles one physical machine: CPU cores, memory, the hypervisor,
+// Dom0 (store daemon, back-ends, hotplug machinery, software switch) and a
+// toolstack selected by the Mechanisms matrix. Benchmarks and examples
+// create Hosts and drive VMs through them.
+//
+//   sim::Engine engine;
+//   lightvm::Host host(&engine, lightvm::HostSpec::Xeon4Core(),
+//                      lightvm::Mechanisms::LightVm());
+//   auto domid = host.CreateVm({.name = "web0", .image = guests::DaytimeUnikernel()});
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/core/mechanisms.h"
+#include "src/guests/guest.h"
+#include "src/toolstack/chaos.h"
+#include "src/toolstack/chaos_daemon.h"
+#include "src/toolstack/migration.h"
+#include "src/toolstack/xl.h"
+
+namespace lightvm {
+
+struct HostSpec {
+  std::string name = "host";
+  int cores = 4;
+  int dom0_cores = 1;
+  lv::Bytes memory = lv::Bytes::GiB(128);
+  // Dom0's own memory footprint (kernel + daemons + switch).
+  lv::Bytes dom0_memory = lv::Bytes::GiB(1);
+
+  // The paper's testbeds.
+  // Intel Xeon E5-1630 v3, 4 cores, 128 GB DDR4 (§6: most experiments).
+  static HostSpec Xeon4Core();
+  // 4x AMD Opteron 6376, 64 cores, 128 GB DDR3 (§6.1: density test).
+  static HostSpec Amd64Core();
+  // Intel Xeon E5-2690 v4, 14 cores, 64 GB (§7: use cases).
+  static HostSpec Xeon14Core();
+};
+
+class Host {
+ public:
+  Host(sim::Engine* engine, HostSpec spec, Mechanisms mechanisms);
+  ~Host();
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  const HostSpec& spec() const { return spec_; }
+  const Mechanisms& mechanisms() const { return mechanisms_; }
+
+  // --- VM lifecycle (thin wrappers over the toolstack) ----------------------
+
+  sim::Co<lv::Result<hv::DomainId>> CreateVm(toolstack::VmConfig config);
+  // Creates and waits until the guest signals boot completion.
+  sim::Co<lv::Result<hv::DomainId>> CreateAndBoot(toolstack::VmConfig config);
+  sim::Co<lv::Status> DestroyVm(hv::DomainId domid);
+  sim::Co<lv::Result<toolstack::Snapshot>> SaveVm(hv::DomainId domid);
+  sim::Co<lv::Result<hv::DomainId>> RestoreVm(toolstack::Snapshot snap);
+  sim::Co<lv::Status> MigrateVm(hv::DomainId domid, Host* target, xnet::Link* link);
+
+  sim::Co<void> WaitBooted(hv::DomainId domid);
+
+  // Shell-pool configuration (split toolstack). Call before creating VMs.
+  void AddShellFlavor(lv::Bytes memory, bool wants_net, int target);
+  // Runs the engine until the shell pool is fully stocked.
+  void PrefillShellPool();
+
+  // --- Accessors -----------------------------------------------------------------
+
+  sim::Engine& engine() { return *engine_; }
+  sim::CpuScheduler& cpu() { return *cpu_; }
+  hv::Hypervisor& hv() { return *hv_; }
+  xnet::Switch& network_switch() { return *switch_; }
+  toolstack::Toolstack& toolstack() { return *toolstack_; }
+  toolstack::ChaosDaemon* chaos_daemon() { return chaos_daemon_.get(); }
+  toolstack::MigrationDaemon& migration_daemon() { return *migration_daemon_; }
+  xs::Daemon* store() { return store_.get(); }
+  // Ablation hook: the store daemon's live cost model (null under noxs).
+  xs::Costs* store_costs_for_test() {
+    return store_ ? store_->mutable_costs() : nullptr;
+  }
+  // Ablation hook: the device layer's live cost model (e.g. to zero the
+  // unoptimized noxs teardown the paper leaves as future work).
+  xdev::Costs* device_costs_for_test() { return &dev_costs_; }
+  xdev::BackendDriver& netback() { return *netback_; }
+  xdev::HotplugRunner* xendevd_runner() { return xendevd_.get(); }
+  guests::Guest* guest(hv::DomainId domid) { return toolstack_->guest(domid); }
+  int64_t num_vms() const { return toolstack_->num_vms(); }
+
+  // Execution context for Dom0 work (control-plane callers).
+  sim::ExecCtx Dom0Ctx();
+
+  // Total memory in use: Dom0 baseline + all guest reservations (Fig. 14).
+  lv::Bytes MemoryUsed() const;
+  // Machine-wide CPU utilization over the current measurement window.
+  void StartCpuWindow() { cpu_->StartWindow(); }
+  double CpuUtilization() const { return cpu_->WindowUtilization(); }
+
+ private:
+  sim::Engine* engine_;
+  HostSpec spec_;
+  Mechanisms mechanisms_;
+  std::unique_ptr<sim::CpuScheduler> cpu_;
+  std::unique_ptr<sim::CorePlacer> placer_;
+  std::unique_ptr<hv::Hypervisor> hv_;
+  std::unique_ptr<xnet::Switch> switch_;
+  std::unique_ptr<xdev::ControlPages> control_pages_;
+  xdev::Costs dev_costs_;
+  std::unique_ptr<xdev::BashHotplug> bash_hotplug_;
+  std::unique_ptr<xdev::Xendevd> xendevd_;
+  std::unique_ptr<xs::Daemon> store_;
+  std::unique_ptr<xdev::BackendDriver> netback_;
+  std::unique_ptr<xdev::BackendDriver> blkback_;
+  std::unique_ptr<xdev::SysctlBackend> sysctl_;
+  std::unique_ptr<toolstack::ChaosDaemon> chaos_daemon_;
+  std::unique_ptr<toolstack::Toolstack> toolstack_;
+  std::unique_ptr<toolstack::MigrationDaemon> migration_daemon_;
+};
+
+}  // namespace lightvm

@@ -1,0 +1,38 @@
+// Device-layer cost model.
+//
+// The headline numbers: launching a bash hotplug script costs tens of
+// milliseconds (paper §5.3), which is why xl's device phase dominates VM
+// creation at low guest counts (Figure 5); xendevd replaces it with a
+// pre-defined setup "without forking or bash scripts".
+#pragma once
+
+#include "src/base/time.h"
+
+namespace xdev {
+
+struct Costs {
+  // ioctl into the noxs kernel module (chaos create path, Fig. 7b step 1).
+  lv::Duration ioctl = lv::Duration::Micros(5);
+  // Back-end device initialization (rings, state machines).
+  lv::Duration backend_init = lv::Duration::MillisF(1.5);
+  // Front-end initialization inside the guest.
+  lv::Duration frontend_init = lv::Duration::Micros(150);
+  // Reading/writing a field of a shared control page.
+  lv::Duration control_page_op = lv::Duration::Micros(1);
+  // fork/exec of bash + the script body (brctl/ip plus setup); "launching
+  // and executing bash scripts is a slow process taking tens of ms" (§5.3).
+  lv::Duration bash_hotplug = lv::Duration::Millis(40);
+  // xendevd handling a udev event with a pre-defined binary setup.
+  lv::Duration xendevd_setup = lv::Duration::Micros(400);
+  // Block device image setup (losetup etc.) done by scripts vs xendevd.
+  lv::Duration bash_block_setup = lv::Duration::Millis(25);
+  lv::Duration xendevd_block_setup = lv::Duration::Micros(600);
+  // Back-end teardown.
+  lv::Duration backend_teardown = lv::Duration::Micros(200);
+  // noxs device destruction is not yet optimized (paper §6.2: "this is due
+  // to device destruction times in noxs which we have not yet optimized and
+  // remain as future work").
+  lv::Duration noxs_teardown_extra = lv::Duration::Millis(8);
+};
+
+}  // namespace xdev

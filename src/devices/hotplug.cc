@@ -1,0 +1,26 @@
+#include "src/devices/hotplug.h"
+
+namespace xdev {
+
+sim::Co<void> BashHotplug::Setup(sim::ExecCtx ctx, hv::DeviceType type) {
+  co_await ctx.Work(type == hv::DeviceType::kBlock ? costs_->bash_block_setup
+                                                   : costs_->bash_hotplug);
+}
+
+sim::Co<void> BashHotplug::Teardown(sim::ExecCtx ctx, hv::DeviceType type) {
+  // Teardown runs the same script with "offline"; same fork/exec cost class.
+  co_await ctx.Work(type == hv::DeviceType::kBlock ? costs_->bash_block_setup
+                                                   : costs_->bash_hotplug);
+}
+
+sim::Co<void> Xendevd::Setup(sim::ExecCtx ctx, hv::DeviceType type) {
+  co_await ctx.Work(type == hv::DeviceType::kBlock ? costs_->xendevd_block_setup
+                                                   : costs_->xendevd_setup);
+}
+
+sim::Co<void> Xendevd::Teardown(sim::ExecCtx ctx, hv::DeviceType type) {
+  co_await ctx.Work(type == hv::DeviceType::kBlock ? costs_->xendevd_block_setup
+                                                   : costs_->xendevd_setup);
+}
+
+}  // namespace xdev

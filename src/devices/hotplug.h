@@ -1,0 +1,52 @@
+// Hotplug mechanisms: the user-space step that plumbs a new virtual device
+// into Dom0 (add the vif to the software switch, set up the block image).
+//
+// Standard Xen runs user-configured bash scripts (slow: fork/exec + shell);
+// LightVM replaces them with xendevd, "a binary daemon [that] listens for
+// udev events from the backends and executes a pre-defined setup without
+// forking or bash scripts" (paper §5.3).
+#pragma once
+
+#include "src/base/result.h"
+#include "src/devices/costs.h"
+#include "src/hv/types.h"
+#include "src/sim/cpu.h"
+#include "src/sim/engine.h"
+
+namespace xdev {
+
+class HotplugRunner {
+ public:
+  virtual ~HotplugRunner() = default;
+  // Charges the setup cost for one device of `type` to `ctx`.
+  virtual sim::Co<void> Setup(sim::ExecCtx ctx, hv::DeviceType type) = 0;
+  // Charges the teardown cost.
+  virtual sim::Co<void> Teardown(sim::ExecCtx ctx, hv::DeviceType type) = 0;
+  virtual const char* name() const = 0;
+};
+
+// Bash hotplug scripts invoked by xl/udevd.
+class BashHotplug : public HotplugRunner {
+ public:
+  explicit BashHotplug(const Costs* costs) : costs_(costs) {}
+  sim::Co<void> Setup(sim::ExecCtx ctx, hv::DeviceType type) override;
+  sim::Co<void> Teardown(sim::ExecCtx ctx, hv::DeviceType type) override;
+  const char* name() const override { return "bash-scripts"; }
+
+ private:
+  const Costs* costs_;
+};
+
+// The xendevd binary daemon.
+class Xendevd : public HotplugRunner {
+ public:
+  explicit Xendevd(const Costs* costs) : costs_(costs) {}
+  sim::Co<void> Setup(sim::ExecCtx ctx, hv::DeviceType type) override;
+  sim::Co<void> Teardown(sim::ExecCtx ctx, hv::DeviceType type) override;
+  const char* name() const override { return "xendevd"; }
+
+ private:
+  const Costs* costs_;
+};
+
+}  // namespace xdev

@@ -1,0 +1,55 @@
+#include "src/guests/apps.h"
+
+#include "src/devices/types.h"
+
+namespace guests {
+
+PingResponder::PingResponder(Guest* guest, xdev::BackendDriver* netback, xnet::Switch* sw)
+    : guest_(guest), switch_(sw) {
+  netback->SetGuestRx(guest_->domid(), [this](const xnet::Packet& p) {
+    if (p.kind == xnet::PacketKind::kPing && !p.is_reply && guest_->running()) {
+      guest_->Ctx().cpu->engine()->Spawn(Answer(p));
+    }
+  });
+}
+
+sim::Co<void> PingResponder::Answer(xnet::Packet request) {
+  sim::ExecCtx ctx = guest_->Ctx();
+  // ICMP handling in the guest stack.
+  co_await ctx.Work(lv::Duration::Micros(20));
+  xnet::Packet reply = request;
+  reply.src = xdev::VifName(guest_->domid(), 0);
+  reply.dst = request.src;
+  reply.is_reply = true;
+  ++pings_answered_;
+  co_await switch_->Forward(ctx, reply);
+}
+
+FirewallApp::FirewallApp(Guest* guest, xdev::BackendDriver* netback, xnet::Switch* sw,
+                         std::string uplink_port)
+    : guest_(guest), switch_(sw), uplink_(std::move(uplink_port)) {
+  netback->SetGuestRx(guest_->domid(), [this](const xnet::Packet& p) {
+    if (guest_->running()) {
+      guest_->Ctx().cpu->engine()->Spawn(Process(p));
+    }
+  });
+}
+
+sim::Co<void> FirewallApp::Process(xnet::Packet packet) {
+  sim::ExecCtx ctx = guest_->Ctx();
+  co_await ctx.Work(guest_->image().per_packet_cpu);
+  ++packets_processed_;
+  bytes_processed_ += packet.size;
+  if (!uplink_.empty()) {
+    packet.src = xdev::VifName(guest_->domid(), 0);
+    packet.dst = uplink_;
+    co_await switch_->Forward(ctx, packet);
+  }
+}
+
+sim::Co<void> TlsServer::HandleRequest() {
+  co_await guest_->Ctx().Work(guest_->image().tls_handshake_cpu);
+  ++requests_served_;
+}
+
+}  // namespace guests

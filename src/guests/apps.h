@@ -1,0 +1,70 @@
+// Guest applications used by the paper's use cases (§7): ping responders
+// (just-in-time service instantiation), ClickOS firewalls (mobile-edge
+// personal firewalls) and TLS termination proxies.
+//
+// Each app attaches to a booted Guest and charges its work to the guest's
+// vCPU, so application load and control-plane load contend for the same
+// simulated cores.
+#pragma once
+
+#include <functional>
+
+#include "src/devices/backend.h"
+#include "src/guests/guest.h"
+#include "src/net/switch.h"
+
+namespace guests {
+
+// Replies to ping packets addressed to the guest's vif (§7.2: "have the
+// newly booted VM reply to pings").
+class PingResponder {
+ public:
+  PingResponder(Guest* guest, xdev::BackendDriver* netback, xnet::Switch* sw);
+
+  int64_t pings_answered() const { return pings_answered_; }
+
+ private:
+  sim::Co<void> Answer(xnet::Packet request);
+
+  Guest* guest_;
+  xnet::Switch* switch_;
+  int64_t pings_answered_ = 0;
+};
+
+// A per-client personal firewall: every packet costs the image's
+// per_packet_cpu on the guest vCPU, then is forwarded to the uplink.
+class FirewallApp {
+ public:
+  FirewallApp(Guest* guest, xdev::BackendDriver* netback, xnet::Switch* sw,
+              std::string uplink_port);
+
+  int64_t packets_processed() const { return packets_processed_; }
+  lv::Bytes bytes_processed() const { return bytes_processed_; }
+
+ private:
+  sim::Co<void> Process(xnet::Packet packet);
+
+  Guest* guest_;
+  xnet::Switch* switch_;
+  std::string uplink_;
+  int64_t packets_processed_ = 0;
+  lv::Bytes bytes_processed_;
+};
+
+// TLS termination proxy: each handshake burns the image's handshake cost on
+// the guest vCPU (RSA-1024 private-key operations dominate, §7.3).
+class TlsServer {
+ public:
+  explicit TlsServer(Guest* guest) : guest_(guest) {}
+
+  // Serves one client handshake + empty response.
+  sim::Co<void> HandleRequest();
+
+  int64_t requests_served() const { return requests_served_; }
+
+ private:
+  Guest* guest_;
+  int64_t requests_served_ = 0;
+};
+
+}  // namespace guests

@@ -1,0 +1,35 @@
+#include "src/guests/syscall_table.h"
+
+namespace guests {
+
+const std::vector<SyscallRelease>& LinuxSyscallHistory() {
+  static const std::vector<SyscallRelease> kHistory = {
+      {2002, "2.4.18", 239}, {2003, "2.6.0", 274},  {2004, "2.6.9", 289},
+      {2005, "2.6.14", 294}, {2006, "2.6.18", 317}, {2007, "2.6.23", 324},
+      {2008, "2.6.27", 327}, {2009, "2.6.31", 333}, {2010, "2.6.36", 340},
+      {2011, "3.1", 346},    {2012, "3.6", 348},    {2013, "3.12", 350},
+      {2014, "3.18", 356},   {2015, "4.3", 364},    {2016, "4.8", 379},
+      {2017, "4.14", 385},   {2018, "4.17", 400},
+  };
+  return kHistory;
+}
+
+double SyscallGrowthPerYear() {
+  const auto& hist = LinuxSyscallHistory();
+  double n = static_cast<double>(hist.size());
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double sxy = 0;
+  for (const SyscallRelease& r : hist) {
+    double x = static_cast<double>(r.year);
+    double y = static_cast<double>(r.syscalls);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+}  // namespace guests

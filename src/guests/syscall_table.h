@@ -1,0 +1,24 @@
+// Linux syscall-count history (paper Figure 1): "the unrelenting growth of
+// the Linux syscall API over the years (x86_32) underlines the difficulty
+// of securing containers."
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace guests {
+
+struct SyscallRelease {
+  int year;
+  std::string release;
+  int syscalls;  // x86_32 syscall table entries
+};
+
+// Release history from 2.4.x (2002) through 4.x (2018), approximating the
+// published x86_32 syscall table sizes.
+const std::vector<SyscallRelease>& LinuxSyscallHistory();
+
+// Linear-regression slope: syscalls added per year over the dataset.
+double SyscallGrowthPerYear();
+
+}  // namespace guests

@@ -1,0 +1,39 @@
+// Hypervisor cost model.
+//
+// Each hypercall is a trap into the hypervisor (one privilege crossing) plus
+// operation-specific work. Coefficients are calibrated against the paper's
+// anchors (see DESIGN.md §3 and EXPERIMENTS.md): e.g. the "hypervisor"
+// category of Figure 5 stays small and flat, while memory operations scale
+// with page counts.
+#pragma once
+
+#include "src/base/time.h"
+
+namespace hv {
+
+struct Costs {
+  // Base cost of any hypercall: syscall-style trap + return.
+  lv::Duration hypercall = lv::Duration::Micros(1);
+  // XEN_DOMCTL_createdomain: allocate domain struct, shared info page.
+  lv::Duration domain_create = lv::Duration::Micros(60);
+  // Per-vCPU initialization.
+  lv::Duration vcpu_init = lv::Duration::Micros(20);
+  // Per-page cost of populate_physmap (allocating + mapping a 4 KiB page).
+  lv::Duration per_page_populate = lv::Duration::Nanos(300);
+  // Per-page cost of copying guest memory (image load, save, restore).
+  // Calibrated from Figure 2: boot time grows ~0.9 s per 1000 MB of image,
+  // i.e. ~0.9 ns/byte -> ~3.7 us per 4 KiB page.
+  lv::Duration per_page_copy = lv::Duration::Nanos(2800);
+  // Reading/writing a noxs device page entry via hypercall.
+  lv::Duration device_page_op = lv::Duration::Micros(2);
+  // Allocating/closing an event channel or grant entry.
+  lv::Duration event_channel_op = lv::Duration::Micros(1);
+  // Delivering an event-channel notification (virtual IRQ injection).
+  lv::Duration event_delivery = lv::Duration::Micros(2);
+  // Per-domain cost of XEN_SYSCTL_getdomaininfolist (list all domains).
+  lv::Duration per_domain_list = lv::Duration::Nanos(150);
+  // Tearing down a domain: per-page scrubbing is the dominant term.
+  lv::Duration per_page_scrub = lv::Duration::Nanos(100);
+};
+
+}  // namespace hv

@@ -1,0 +1,83 @@
+#include "src/hv/event_channel.h"
+
+#include "src/base/strings.h"
+
+namespace hv {
+
+Port EventChannelTable::Alloc(DomainId side_a, DomainId side_b) {
+  Port port = next_port_++;
+  Channel ch;
+  ch.a = side_a;
+  ch.b = side_b;
+  channels_.emplace(port, std::move(ch));
+  return port;
+}
+
+lv::Status EventChannelTable::Bind(Port port, DomainId side, std::function<void()> handler) {
+  auto it = channels_.find(port);
+  if (it == channels_.end()) {
+    return lv::Err(lv::ErrorCode::kNotFound, lv::StrFormat("port %lld", (long long)port));
+  }
+  Channel& ch = it->second;
+  if (side == ch.a) {
+    ch.handler_a = std::move(handler);
+  } else if (side == ch.b) {
+    ch.handler_b = std::move(handler);
+  } else {
+    return lv::Err(lv::ErrorCode::kPermissionDenied,
+                   lv::StrFormat("dom%lld not an endpoint of port %lld", (long long)side,
+                                 (long long)port));
+  }
+  return lv::Status::Ok();
+}
+
+lv::Status EventChannelTable::Unbind(Port port, DomainId side) {
+  auto it = channels_.find(port);
+  if (it == channels_.end()) {
+    return lv::Err(lv::ErrorCode::kNotFound, lv::StrFormat("port %lld", (long long)port));
+  }
+  Channel& ch = it->second;
+  if (side == ch.a) {
+    ch.handler_a = nullptr;
+  } else if (side == ch.b) {
+    ch.handler_b = nullptr;
+  } else {
+    return lv::Err(lv::ErrorCode::kPermissionDenied, "not an endpoint");
+  }
+  return lv::Status::Ok();
+}
+
+sim::Co<lv::Status> EventChannelTable::Notify(sim::ExecCtx ctx, Port port, DomainId from) {
+  co_await ctx.Work(costs_->event_channel_op);
+  auto it = channels_.find(port);
+  if (it == channels_.end()) {
+    co_return lv::Err(lv::ErrorCode::kNotFound,
+                      lv::StrFormat("port %lld", (long long)port));
+  }
+  Channel& ch = it->second;
+  std::function<void()>* handler = nullptr;
+  if (from == ch.a) {
+    handler = &ch.handler_b;
+  } else if (from == ch.b) {
+    handler = &ch.handler_a;
+  } else {
+    co_return lv::Err(lv::ErrorCode::kPermissionDenied, "not an endpoint");
+  }
+  ++notifications_;
+  if (*handler) {
+    // Deliver the virtual IRQ after the injection latency. Copy the handler:
+    // the channel may be closed before delivery.
+    std::function<void()> h = *handler;
+    engine_->Schedule(costs_->event_delivery, [h] { h(); });
+  }
+  co_return lv::Status::Ok();
+}
+
+lv::Status EventChannelTable::Close(Port port) {
+  if (channels_.erase(port) == 0) {
+    return lv::Err(lv::ErrorCode::kNotFound, lv::StrFormat("port %lld", (long long)port));
+  }
+  return lv::Status::Ok();
+}
+
+}  // namespace hv

@@ -1,0 +1,64 @@
+#include "src/hv/grant_table.h"
+
+#include "src/base/strings.h"
+
+namespace hv {
+
+GrantRef GrantTable::Grant(DomainId owner, DomainId grantee) {
+  GrantRef ref = next_ref_++;
+  grants_.emplace(ref, Entry{owner, grantee, false});
+  return ref;
+}
+
+lv::Status GrantTable::Map(DomainId mapper, GrantRef ref) {
+  auto it = grants_.find(ref);
+  if (it == grants_.end()) {
+    return lv::Err(lv::ErrorCode::kNotFound, lv::StrFormat("grant %lld", (long long)ref));
+  }
+  if (it->second.grantee != mapper) {
+    return lv::Err(lv::ErrorCode::kPermissionDenied,
+                   lv::StrFormat("dom%lld is not the grantee of grant %lld",
+                                 (long long)mapper, (long long)ref));
+  }
+  if (it->second.mapped) {
+    return lv::Err(lv::ErrorCode::kAlreadyExists, "grant already mapped");
+  }
+  it->second.mapped = true;
+  return lv::Status::Ok();
+}
+
+lv::Status GrantTable::Unmap(DomainId mapper, GrantRef ref) {
+  auto it = grants_.find(ref);
+  if (it == grants_.end()) {
+    return lv::Err(lv::ErrorCode::kNotFound, lv::StrFormat("grant %lld", (long long)ref));
+  }
+  if (it->second.grantee != mapper || !it->second.mapped) {
+    return lv::Err(lv::ErrorCode::kInvalidArgument, "not mapped by this domain");
+  }
+  it->second.mapped = false;
+  return lv::Status::Ok();
+}
+
+lv::Status GrantTable::Revoke(GrantRef ref) {
+  auto it = grants_.find(ref);
+  if (it == grants_.end()) {
+    return lv::Err(lv::ErrorCode::kNotFound, lv::StrFormat("grant %lld", (long long)ref));
+  }
+  if (it->second.mapped) {
+    return lv::Err(lv::ErrorCode::kUnavailable, "grant still mapped");
+  }
+  grants_.erase(it);
+  return lv::Status::Ok();
+}
+
+int64_t GrantTable::GrantsOwnedBy(DomainId owner) const {
+  int64_t n = 0;
+  for (const auto& [ref, entry] : grants_) {
+    if (entry.owner == owner) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace hv

@@ -1,0 +1,44 @@
+// Grant tables: Xen's mechanism for sharing memory pages between domains.
+// A grant names (owner, grantee, page); the grantee may map it. Device
+// control pages and I/O rings are shared through grants in both the
+// XenStore-based and the noxs connection paths.
+#pragma once
+
+#include <unordered_map>
+
+#include "src/base/result.h"
+#include "src/hv/types.h"
+
+namespace hv {
+
+class GrantTable {
+ public:
+  // Creates a grant allowing `grantee` to map a page of `owner`.
+  GrantRef Grant(DomainId owner, DomainId grantee);
+
+  // Maps a granted page; only the designated grantee may map.
+  lv::Status Map(DomainId mapper, GrantRef ref);
+  lv::Status Unmap(DomainId mapper, GrantRef ref);
+
+  // Revokes the grant entirely (owner teardown). Fails if still mapped.
+  lv::Status Revoke(GrantRef ref);
+
+  bool IsActive(GrantRef ref) const { return grants_.contains(ref); }
+  bool IsMapped(GrantRef ref) const {
+    auto it = grants_.find(ref);
+    return it != grants_.end() && it->second.mapped;
+  }
+  int64_t active_grants() const { return static_cast<int64_t>(grants_.size()); }
+  int64_t GrantsOwnedBy(DomainId owner) const;
+
+ private:
+  struct Entry {
+    DomainId owner = kInvalidDomain;
+    DomainId grantee = kInvalidDomain;
+    bool mapped = false;
+  };
+  GrantRef next_ref_ = 1;
+  std::unordered_map<GrantRef, Entry> grants_;
+};
+
+}  // namespace hv

@@ -1,0 +1,24 @@
+#include "src/hv/memory.h"
+
+#include "src/base/strings.h"
+
+namespace hv {
+
+lv::Status MemoryPool::Reserve(int64_t pages) {
+  LV_CHECK(pages >= 0);
+  if (used_pages_ + pages > total_pages_) {
+    return lv::Err(lv::ErrorCode::kOutOfMemory,
+                   lv::StrFormat("need %lld pages, %lld free", (long long)pages,
+                                 (long long)free_pages()));
+  }
+  used_pages_ += pages;
+  return lv::Status::Ok();
+}
+
+void MemoryPool::Release(int64_t pages) {
+  LV_CHECK(pages >= 0);
+  LV_CHECK_MSG(pages <= used_pages_, "releasing more pages than reserved");
+  used_pages_ -= pages;
+}
+
+}  // namespace hv

@@ -1,0 +1,36 @@
+// Page-granular physical memory pool of a host.
+//
+// VM memory consumption imposing a hard upper bound on instance density is a
+// central observation of the paper (§2); this pool is where Figure 14's
+// curves and Figure 10's Docker out-of-memory cliff come from.
+#pragma once
+
+#include <cstdint>
+
+#include "src/base/result.h"
+#include "src/base/units.h"
+
+namespace hv {
+
+class MemoryPool {
+ public:
+  explicit MemoryPool(lv::Bytes total)
+      : total_pages_(lv::PagesFor(total)), used_pages_(0) {}
+
+  // Reserves `pages`; fails with OUT_OF_MEMORY when the pool is exhausted.
+  lv::Status Reserve(int64_t pages);
+  void Release(int64_t pages);
+
+  int64_t total_pages() const { return total_pages_; }
+  int64_t used_pages() const { return used_pages_; }
+  int64_t free_pages() const { return total_pages_ - used_pages_; }
+  lv::Bytes used() const { return lv::kPageSize * used_pages_; }
+  lv::Bytes free() const { return lv::kPageSize * free_pages(); }
+  lv::Bytes total() const { return lv::kPageSize * total_pages_; }
+
+ private:
+  int64_t total_pages_;
+  int64_t used_pages_;
+};
+
+}  // namespace hv

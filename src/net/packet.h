@@ -1,0 +1,29 @@
+// Minimal packet model for the software switch and the use-case workloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/time.h"
+#include "src/base/units.h"
+
+namespace xnet {
+
+enum class PacketKind {
+  kArp,   // broadcast address resolution (the Fig. 16b overload trigger)
+  kPing,  // ICMP echo request/reply
+  kData,  // bulk data (iperf / TLS payloads)
+};
+
+struct Packet {
+  PacketKind kind = PacketKind::kData;
+  std::string src;   // source port name (e.g. "vif3.0" or "uplink")
+  std::string dst;   // destination port name; empty = broadcast
+  lv::Bytes size = lv::Bytes::Count(1500);
+  int64_t flow_id = 0;   // client/flow identifier
+  int64_t seq = 0;
+  bool is_reply = false;
+  lv::TimePoint sent_at;
+};
+
+}  // namespace xnet

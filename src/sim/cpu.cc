@@ -1,0 +1,131 @@
+#include "src/sim/cpu.h"
+
+#include <algorithm>
+
+namespace sim {
+
+namespace {
+// Jobs whose remaining work dips below this are considered complete; protects
+// against floating-point drift starving the completion loop.
+constexpr double kEpsilonNs = 0.5;
+}  // namespace
+
+CpuScheduler::CpuScheduler(Engine* engine, int num_cores) : engine_(engine) {
+  LV_CHECK(num_cores > 0);
+  cores_.resize(static_cast<size_t>(num_cores));
+  for (Core& core : cores_) {
+    core.last_update = engine_->now();
+  }
+  window_start_ = engine_->now();
+}
+
+CpuScheduler::~CpuScheduler() {
+  for (Core& core : cores_) {
+    core.next_completion.Cancel();
+  }
+}
+
+int CpuScheduler::ActiveJobs(int core) const {
+  LV_CHECK(core >= 0 && core < num_cores());
+  return static_cast<int>(cores_[static_cast<size_t>(core)].active.size());
+}
+
+Duration CpuScheduler::ConsumedBy(CpuOwner owner) const {
+  auto it = consumed_ns_.find(owner);
+  if (it == consumed_ns_.end()) {
+    return Duration();
+  }
+  return Duration::Nanos(static_cast<int64_t>(it->second));
+}
+
+Duration CpuScheduler::BusyTime(int core) const {
+  LV_CHECK(core >= 0 && core < num_cores());
+  return Duration::Nanos(static_cast<int64_t>(cores_[static_cast<size_t>(core)].busy_ns));
+}
+
+void CpuScheduler::StartWindow() {
+  // Charge pending time first so the window starts clean.
+  for (size_t i = 0; i < cores_.size(); ++i) {
+    Advance(cores_[i]);
+    cores_[i].window_busy_ns = 0.0;
+  }
+  window_start_ = engine_->now();
+}
+
+double CpuScheduler::WindowUtilization() const {
+  Duration span = engine_->now() - window_start_;
+  if (span.ns() <= 0) {
+    return 0.0;
+  }
+  double busy = 0.0;
+  for (const Core& core : cores_) {
+    double b = core.window_busy_ns;
+    // Include time accrued since the core's last bookkeeping update.
+    if (!core.active.empty()) {
+      b += static_cast<double>((engine_->now() - core.last_update).ns());
+    }
+    busy += b;
+  }
+  return busy / (static_cast<double>(span.ns()) * static_cast<double>(cores_.size()));
+}
+
+void CpuScheduler::Advance(Core& core) {
+  TimePoint now = engine_->now();
+  double elapsed = static_cast<double>((now - core.last_update).ns());
+  core.last_update = now;
+  if (elapsed <= 0.0 || core.active.empty()) {
+    return;
+  }
+  double share = elapsed / static_cast<double>(core.active.size());
+  for (Job& job : core.active) {
+    job.remaining_ns -= share;
+    consumed_ns_[job.owner] += share;
+  }
+  core.busy_ns += elapsed;
+  core.window_busy_ns += elapsed;
+}
+
+void CpuScheduler::Reschedule(int core_idx) {
+  Core& core = cores_[static_cast<size_t>(core_idx)];
+  core.next_completion.Cancel();
+  if (core.active.empty()) {
+    return;
+  }
+  double min_remaining = core.active[0].remaining_ns;
+  for (const Job& job : core.active) {
+    min_remaining = std::min(min_remaining, job.remaining_ns);
+  }
+  double delay_ns = std::max(1.0, min_remaining * static_cast<double>(core.active.size()));
+  core.next_completion = engine_->Schedule(Duration::Nanos(static_cast<int64_t>(delay_ns)),
+                                           [this, core_idx] { OnCompletion(core_idx); });
+}
+
+void CpuScheduler::OnCompletion(int core_idx) {
+  Core& core = cores_[static_cast<size_t>(core_idx)];
+  Advance(core);
+  std::vector<std::coroutine_handle<>> done;
+  auto it = core.active.begin();
+  while (it != core.active.end()) {
+    if (it->remaining_ns <= kEpsilonNs) {
+      done.push_back(it->handle);
+      it = core.active.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Reschedule(core_idx);
+  for (std::coroutine_handle<> h : done) {
+    engine_->Schedule(Duration(), [h] { h.resume(); });
+  }
+}
+
+void CpuScheduler::Submit(int core_idx, Duration work, CpuOwner owner,
+                          std::coroutine_handle<> h) {
+  LV_CHECK(core_idx >= 0 && core_idx < num_cores());
+  Core& core = cores_[static_cast<size_t>(core_idx)];
+  Advance(core);
+  core.active.push_back(Job{static_cast<double>(work.ns()), owner, h});
+  Reschedule(core_idx);
+}
+
+}  // namespace sim

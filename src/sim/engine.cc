@@ -1,0 +1,89 @@
+#include "src/sim/engine.h"
+
+#include "src/base/log.h"
+
+namespace sim {
+
+namespace {
+
+TimePoint LoggerNow(void* ctx) { return static_cast<Engine*>(ctx)->now(); }
+
+}  // namespace
+
+Engine::Engine(uint64_t seed) : rng_(seed) {
+  lv::Logger::Get().AttachClock(&LoggerNow, this);
+}
+
+Engine::~Engine() { lv::Logger::Get().DetachClock(); }
+
+EventHandle Engine::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  LV_CHECK_MSG(when >= now_, "cannot schedule an event in the simulated past");
+  auto ev = std::make_unique<Event>();
+  ev->when = when;
+  ev->seq = next_seq_++;
+  ev->fn = std::move(fn);
+  ev->state = std::make_shared<EventHandle::State>();
+  EventHandle handle{std::weak_ptr<EventHandle::State>(ev->state)};
+  queue_.push(std::move(ev));
+  return handle;
+}
+
+void Engine::Spawn(Co<void> task) {
+  auto h = task.Release();
+  LV_CHECK_MSG(h != nullptr, "spawning an empty task");
+  h.promise().detached = true;
+  h.resume();
+}
+
+std::unique_ptr<Engine::Event> Engine::PopNext() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; move is safe because we pop right away.
+    auto& top = const_cast<std::unique_ptr<Event>&>(queue_.top());
+    std::unique_ptr<Event> ev = std::move(top);
+    queue_.pop();
+    if (!ev->state->cancelled) {
+      return ev;
+    }
+  }
+  return nullptr;
+}
+
+bool Engine::Step() {
+  std::unique_ptr<Event> ev = PopNext();
+  if (!ev) {
+    return false;
+  }
+  now_ = ev->when;
+  ++processed_;
+  ev->fn();
+  return true;
+}
+
+void Engine::Run() {
+  while (Step()) {
+  }
+}
+
+void Engine::RunUntil(TimePoint t) {
+  while (true) {
+    std::unique_ptr<Event> ev = PopNext();
+    if (!ev) {
+      break;
+    }
+    if (ev->when > t) {
+      // Put it back; it stays pending beyond the horizon.
+      queue_.push(std::move(ev));
+      break;
+    }
+    now_ = ev->when;
+    ++processed_;
+    ev->fn();
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+}
+
+size_t Engine::pending_events() const { return queue_.size(); }
+
+}  // namespace sim

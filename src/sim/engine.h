@@ -1,0 +1,112 @@
+// Discrete-event simulation engine: a simulated clock plus an ordered event
+// queue. All LightVM components run on top of one Engine; time only advances
+// when the engine processes events, so runs are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/time.h"
+#include "src/sim/task.h"
+
+namespace sim {
+
+using lv::Duration;
+using lv::TimePoint;
+
+// Handle to a scheduled event; allows cancellation (used by the CPU
+// scheduler to re-plan core completion events).
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void Cancel() {
+    if (auto s = state_.lock()) {
+      s->cancelled = true;
+    }
+  }
+  bool valid() const { return !state_.expired(); }
+
+ private:
+  friend class Engine;
+  struct State {
+    bool cancelled = false;
+  };
+  explicit EventHandle(std::weak_ptr<State> s) : state_(std::move(s)) {}
+  std::weak_ptr<State> state_;
+};
+
+class Engine {
+ public:
+  explicit Engine(uint64_t seed = 1);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  TimePoint now() const { return now_; }
+  lv::Rng& rng() { return rng_; }
+
+  EventHandle Schedule(Duration delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+  EventHandle ScheduleAt(TimePoint when, std::function<void()> fn);
+
+  // Starts a detached coroutine task. It runs synchronously until its first
+  // suspension point; its frame is reclaimed automatically on completion.
+  void Spawn(Co<void> task);
+
+  // Awaitable that suspends the current coroutine for `d` of simulated time.
+  // Sleep(Duration()) yields through the event queue (fair re-entry).
+  struct SleepAwaiter {
+    Engine* engine;
+    Duration d;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      engine->Schedule(d, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+  SleepAwaiter Sleep(Duration d) { return SleepAwaiter{this, d}; }
+  SleepAwaiter Yield() { return SleepAwaiter{this, Duration()}; }
+
+  // Processes every pending event (including ones scheduled along the way).
+  void Run();
+  // Processes events up to and including time t, then advances the clock to t.
+  void RunUntil(TimePoint t);
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+  // Processes a single event. Returns false if the queue was empty.
+  bool Step();
+
+  size_t pending_events() const;
+  uint64_t processed_events() const { return processed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const std::unique_ptr<Event>& a, const std::unique_ptr<Event>& b) const {
+      if (a->when != b->when) {
+        return a->when > b->when;
+      }
+      return a->seq > b->seq;
+    }
+  };
+
+  // Pops the next non-cancelled event, or nullptr.
+  std::unique_ptr<Event> PopNext();
+
+  TimePoint now_;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_ = 0;
+  std::priority_queue<std::unique_ptr<Event>, std::vector<std::unique_ptr<Event>>, Later> queue_;
+  lv::Rng rng_;
+};
+
+}  // namespace sim

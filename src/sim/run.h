@@ -1,0 +1,57 @@
+// Helpers for driving the engine from synchronous code (tests, benches,
+// examples). Engine::Run() drains the queue completely, which never returns
+// once periodic activity exists (guest background services, daemons with
+// timers) — use these bounded variants instead.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "src/base/assert.h"
+#include "src/sim/engine.h"
+#include "src/sim/task.h"
+
+namespace sim {
+
+// Processes events until `pred()` becomes true. Returns false if the event
+// queue drains or the horizon passes first.
+template <typename Pred>
+bool RunUntilCondition(Engine& engine, Pred&& pred,
+                       Duration horizon = Duration::Max()) {
+  TimePoint deadline =
+      horizon == Duration::Max() ? TimePoint::Max() : engine.now() + horizon;
+  while (!pred()) {
+    if (engine.now() >= deadline) {
+      return pred();
+    }
+    if (!engine.Step()) {
+      return pred();
+    }
+  }
+  return true;
+}
+
+// Runs a coroutine to completion, processing whatever events it needs, and
+// returns its result. Aborts if the simulation deadlocks before completion.
+template <typename T>
+T RunToCompletion(Engine& engine, Co<T> co) {
+  std::optional<T> out;
+  engine.Spawn([](Co<T> c, std::optional<T>& o) -> Co<void> {
+    o = co_await std::move(c);
+  }(std::move(co), out));
+  bool done = RunUntilCondition(engine, [&] { return out.has_value(); });
+  LV_CHECK_MSG(done, "coroutine did not complete (simulation deadlock?)");
+  return std::move(*out);
+}
+
+inline void RunToCompletion(Engine& engine, Co<void> co) {
+  bool flag = false;
+  engine.Spawn([](Co<void> c, bool& f) -> Co<void> {
+    co_await std::move(c);
+    f = true;
+  }(std::move(co), flag));
+  bool done = RunUntilCondition(engine, [&] { return flag; });
+  LV_CHECK_MSG(done, "coroutine did not complete (simulation deadlock?)");
+}
+
+}  // namespace sim

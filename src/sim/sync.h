@@ -1,0 +1,200 @@
+// Coroutine synchronization primitives for the simulator: one-shot events,
+// counting semaphores, unbounded channels and shared futures.
+//
+// All wake-ups go through the engine's event queue (at the current simulated
+// time) rather than resuming inline. That keeps notification order
+// deterministic and prevents unbounded recursion when a Trigger() cascades.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/base/assert.h"
+#include "src/sim/engine.h"
+
+namespace sim {
+
+// One-shot level-triggered event: Wait() returns immediately once Trigger()
+// has been called; otherwise it suspends until the trigger.
+class OneShotEvent {
+ public:
+  explicit OneShotEvent(Engine* engine) : engine_(engine) {}
+  OneShotEvent(const OneShotEvent&) = delete;
+  OneShotEvent& operator=(const OneShotEvent&) = delete;
+
+  bool triggered() const { return triggered_; }
+
+  void Trigger() {
+    if (triggered_) {
+      return;
+    }
+    triggered_ = true;
+    for (std::coroutine_handle<> h : waiters_) {
+      engine_->Schedule(Duration(), [h] { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  struct Awaiter {
+    OneShotEvent* ev;
+    bool await_ready() const noexcept { return ev->triggered_; }
+    void await_suspend(std::coroutine_handle<> h) { ev->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter Wait() { return Awaiter{this}; }
+
+ private:
+  Engine* engine_;
+  bool triggered_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// Counting semaphore with FIFO handoff.
+class Semaphore {
+ public:
+  Semaphore(Engine* engine, int64_t initial) : engine_(engine), count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  int64_t available() const { return count_; }
+  int64_t waiters() const { return static_cast<int64_t>(waiters_.size()); }
+
+  struct Awaiter {
+    Semaphore* sem;
+    bool await_ready() const noexcept {
+      if (sem->count_ > 0) {
+        --sem->count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { sem->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter Acquire() { return Awaiter{this}; }
+
+  bool TryAcquire() {
+    if (count_ > 0) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  void Release() {
+    if (!waiters_.empty()) {
+      std::coroutine_handle<> h = waiters_.front();
+      waiters_.pop_front();
+      engine_->Schedule(Duration(), [h] { h.resume(); });
+    } else {
+      ++count_;
+    }
+  }
+
+ private:
+  Engine* engine_;
+  int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// Unbounded multi-producer channel. Receivers suspend when empty; values are
+// handed to receivers in FIFO order.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine* engine) : engine_(engine) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  void Send(T value) {
+    if (!receivers_.empty()) {
+      Awaiter* rx = receivers_.front();
+      receivers_.pop_front();
+      rx->slot = std::move(value);
+      std::coroutine_handle<> h = rx->handle;
+      engine_->Schedule(Duration(), [h] { h.resume(); });
+    } else {
+      queue_.push_back(std::move(value));
+    }
+  }
+
+  struct Awaiter {
+    Channel* ch;
+    std::optional<T> slot;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() noexcept {
+      if (!ch->queue_.empty()) {
+        slot = std::move(ch->queue_.front());
+        ch->queue_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      ch->receivers_.push_back(this);
+    }
+    T await_resume() {
+      LV_CHECK(slot.has_value());
+      return std::move(*slot);
+    }
+  };
+  Awaiter Recv() { return Awaiter{this, std::nullopt, nullptr}; }
+
+ private:
+  Engine* engine_;
+  std::deque<T> queue_;
+  std::deque<Awaiter*> receivers_;
+};
+
+// One-shot shared future: Set() once, any number of Get() waiters. The value
+// is copied to each waiter.
+template <typename T>
+class SharedFuture {
+ public:
+  explicit SharedFuture(Engine* engine) : state_(std::make_shared<State>()) {
+    state_->engine = engine;
+  }
+
+  bool has_value() const { return state_->value.has_value(); }
+  const T& value() const {
+    LV_CHECK(state_->value.has_value());
+    return *state_->value;
+  }
+
+  void Set(T value) {
+    LV_CHECK_MSG(!state_->value.has_value(), "SharedFuture set twice");
+    state_->value = std::move(value);
+    for (std::coroutine_handle<> h : state_->waiters) {
+      state_->engine->Schedule(Duration(), [h] { h.resume(); });
+    }
+    state_->waiters.clear();
+  }
+
+  struct Awaiter {
+    std::shared_ptr<typename SharedFuture::State> state;
+    bool await_ready() const noexcept { return state->value.has_value(); }
+    void await_suspend(std::coroutine_handle<> h) { state->waiters.push_back(h); }
+    T await_resume() { return *state->value; }
+  };
+  Awaiter Get() { return Awaiter{state_}; }
+
+ private:
+  struct State {
+    Engine* engine = nullptr;
+    std::optional<T> value;
+    std::vector<std::coroutine_handle<>> waiters;
+  };
+  std::shared_ptr<State> state_;
+
+  friend struct Awaiter;
+};
+
+}  // namespace sim

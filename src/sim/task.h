@@ -1,0 +1,132 @@
+// Coroutine task type for the discrete-event simulator.
+//
+// Co<T> is a lazy task: creating one does not run any code; it starts when
+// awaited (or when detached onto the engine via Engine::Spawn). Completion
+// resumes the awaiting coroutine by symmetric transfer, so long chains of
+// control-plane steps (toolstack -> XenStore -> driver -> guest) run without
+// stack growth.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace sim {
+
+template <typename T>
+class Co;
+
+namespace internal {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation = std::noop_coroutine();
+  bool detached = false;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<P> h) noexcept {
+      PromiseBase& p = h.promise();
+      std::coroutine_handle<> cont = p.continuation;
+      if (p.detached) {
+        // A detached task has nobody to observe an exception.
+        LV_CHECK_MSG(!p.exception, "unhandled exception in detached sim task");
+        h.destroy();
+      }
+      return cont;
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  std::optional<T> value;
+  Co<T> get_return_object();
+  void return_value(T v) { value = std::move(v); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Co<void> get_return_object();
+  void return_void() {}
+};
+
+}  // namespace internal
+
+template <typename T = void>
+class [[nodiscard]] Co {
+ public:
+  using promise_type = internal::Promise<T>;
+
+  Co() = default;
+  explicit Co(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  Co(Co&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Co& operator=(Co&& o) noexcept {
+    if (this != &o) {
+      Destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  ~Co() { Destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+
+  // Awaitable protocol: awaiting a Co starts it and suspends the caller until
+  // it completes.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    LV_CHECK_MSG(h_ != nullptr, "awaiting an empty Co");
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  T await_resume() {
+    internal::Promise<T>& p = h_.promise();
+    if (p.exception) {
+      std::rethrow_exception(p.exception);
+    }
+    if constexpr (!std::is_void_v<T>) {
+      return std::move(*p.value);
+    }
+  }
+
+  // Transfers ownership of the frame out (used by Engine::Spawn to detach).
+  std::coroutine_handle<promise_type> Release() { return std::exchange(h_, nullptr); }
+
+ private:
+  void Destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+namespace internal {
+
+template <typename T>
+Co<T> Promise<T>::get_return_object() {
+  return Co<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Co<void> Promise<void>::get_return_object() {
+  return Co<void>(std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+}  // namespace internal
+
+}  // namespace sim

@@ -1,0 +1,183 @@
+#include "src/tinyx/builder.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/base/strings.h"
+
+namespace tinyx {
+
+using lv::Bytes;
+
+lv::Result<std::vector<std::string>> TinyxBuilder::ResolveClosure(
+    const std::string& app) const {
+  const Package* root = db_.Find(app);
+  if (root == nullptr) {
+    return lv::Err(lv::ErrorCode::kNotFound, "no such package: " + app);
+  }
+  std::set<std::string> closure;
+  std::deque<std::string> frontier;
+  frontier.push_back(app);
+  while (!frontier.empty()) {
+    std::string name = frontier.front();
+    frontier.pop_front();
+    if (!closure.insert(name).second) {
+      continue;
+    }
+    const Package* pkg = db_.Find(name);
+    if (pkg == nullptr) {
+      return lv::Err(lv::ErrorCode::kNotFound, "broken dependency: " + name);
+    }
+    // Channel 1: declared package dependencies (the package manager).
+    for (const std::string& dep : pkg->depends) {
+      frontier.push_back(dep);
+    }
+    // Channel 2: objdump over the binaries -> shared libraries -> providers.
+    for (const std::string& lib : pkg->needed_libs) {
+      const Package* provider = db_.ProviderOf(lib);
+      if (provider == nullptr) {
+        return lv::Err(lv::ErrorCode::kNotFound,
+                       lv::StrFormat("no package provides %s (needed by %s)", lib.c_str(),
+                                     name.c_str()));
+      }
+      frontier.push_back(provider->name);
+    }
+  }
+  std::vector<std::string> out(closure.begin(), closure.end());
+  return out;
+}
+
+lv::Result<BuiltImage> TinyxBuilder::Build(const BuildConfig& config) const {
+  BuiltImage image;
+  image.app = config.app;
+
+  // --- Distribution half -----------------------------------------------------
+  auto closure = ResolveClosure(config.app);
+  if (!closure.ok()) {
+    return closure.error();
+  }
+  std::set<std::string> selected(closure->begin(), closure->end());
+
+  // Whitelist: user-forced packages irrespective of dependency analysis.
+  for (const std::string& name : config.whitelist) {
+    auto extra = ResolveClosure(name);
+    if (!extra.ok()) {
+      return extra.error();
+    }
+    selected.insert(extra->begin(), extra->end());
+  }
+
+  // Blacklist: installation machinery marked "required" by the distro plus
+  // any user-supplied names.
+  std::set<std::string> blacklist;
+  for (const std::string& name : db_.RequiredForInstall()) {
+    blacklist.insert(name);
+  }
+  for (const std::string& name : config.blacklist_extra) {
+    blacklist.insert(name);
+  }
+  for (const std::string& name : blacklist) {
+    if (selected.erase(name) > 0) {
+      image.blacklisted.push_back(name);
+    }
+  }
+  std::sort(image.blacklisted.begin(), image.blacklisted.end());
+
+  // BusyBox provides basic runtime functionality in every Tinyx image.
+  selected.insert("busybox");
+  auto busybox_deps = ResolveClosure("busybox");
+  if (busybox_deps.ok()) {
+    selected.insert(busybox_deps->begin(), busybox_deps->end());
+  }
+
+  // --- Overlay assembly --------------------------------------------------------
+  // Install into an OverlayFS over a debootstrap base, strip caches, merge
+  // onto the BusyBox underlay, add the init glue.
+  Bytes rootfs;
+  Bytes caches;
+  for (const std::string& name : selected) {
+    const Package* pkg = db_.Find(name);
+    LV_CHECK(pkg != nullptr);
+    rootfs += pkg->installed_size;
+    caches += pkg->cache_overhead;
+  }
+  image.overlay_steps.push_back(
+      {"mount empty OverlayFS over debootstrap base", Bytes::Count(0)});
+  image.overlay_steps.push_back(
+      {lv::StrFormat("install %zu packages into overlay", selected.size()), rootfs + caches});
+  image.overlay_steps.push_back(
+      {"remove caches, dpkg/apt files, unnecessary directories",
+       Bytes::Count(0) - caches});
+  image.overlay_steps.push_back({"merge overlay onto BusyBox underlay", Bytes::Count(0)});
+  Bytes init_glue = Bytes::KiB(4);
+  image.overlay_steps.push_back({"add init glue to run app from BusyBox init", init_glue});
+  image.rootfs_size = rootfs + init_glue;
+
+  // --- Kernel half ----------------------------------------------------------------
+  KernelModel kernel;
+  std::set<std::string> options;
+  for (const std::string& opt : kernel.PlatformOptions(config.platform)) {
+    options.insert(opt);
+  }
+  for (const std::string& opt : kernel.DefaultOnOptions()) {
+    options.insert(opt);
+  }
+  // Tinyx disables module support by default (§3.2).
+  options.erase("MODULES");
+  // And baremetal-only drivers not needed on virtualized systems.
+  for (const char* opt : {"ETHERNET_DRIVERS", "USB", "SOUND", "GPU_DRIVERS", "WIRELESS"}) {
+    options.erase(opt);
+  }
+
+  auto boot_test = config.boot_test
+                       ? config.boot_test
+                       : [&kernel](const std::set<std::string>& opts,
+                                   const std::string& app) {
+                           return kernel.BootTest(opts, app);
+                         };
+
+  // Test-driven trimming loop over the user-provided candidates.
+  for (const std::string& candidate : config.kernel_options_to_test) {
+    if (!options.contains(candidate)) {
+      continue;
+    }
+    options.erase(candidate);
+    ++image.boot_tests_run;
+    if (!boot_test(options, config.app)) {
+      options.insert(candidate);  // Re-enable: the app needs it.
+    } else {
+      image.options_disabled_by_test.push_back(candidate);
+    }
+  }
+
+  if (!boot_test(options, config.app)) {
+    return lv::Err(lv::ErrorCode::kInternal,
+                   "final kernel configuration fails the boot test");
+  }
+
+  image.kernel_options = options;
+  image.kernel_size = kernel.SizeOf(options);
+  image.packages.assign(selected.begin(), selected.end());
+  std::sort(image.packages.begin(), image.packages.end());
+
+  // The distribution is bundled into the kernel image as an initramfs (§6).
+  image.image_size = image.kernel_size + image.rootfs_size;
+  // Runtime memory: trimmed kernel (~1.6 MB) + initramfs resident + app
+  // working set; lands near the paper's ~30 MB for typical apps.
+  image.memory_estimate = Bytes::MiB(18) + image.rootfs_size;
+
+  return image;
+}
+
+guests::GuestImage BuiltImage::ToGuestImage() const {
+  guests::GuestImage img = guests::TinyxNoop();
+  img.name = "tinyx-" + app;
+  img.image_size = image_size;
+  img.memory = memory_estimate;
+  if (app == "tls-proxy") {
+    img.tls_handshake_cpu = lv::Duration::Millis(10);
+  }
+  return img;
+}
+
+}  // namespace tinyx

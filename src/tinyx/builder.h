@@ -1,0 +1,77 @@
+// The Tinyx build system (paper §3.2): builds a minimalistic, Linux-based
+// VM image around a single application.
+//
+// Two halves, as in the paper:
+//  * Distribution: resolve the app's dependency closure (objdump +
+//    package manager), subtract the installation-only blacklist, add the
+//    user whitelist, assemble through an OverlayFS mount over a debootstrap
+//    base, strip caches, and merge onto a BusyBox underlay with an init glue.
+//  * Kernel: start from the "tinyconfig" target, add platform options (Xen
+//    or KVM front-ends), then optionally run the test-driven trimming loop:
+//    disable each user-provided option in turn, rebuild, boot, run the app
+//    test; re-enable on failure.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/units.h"
+#include "src/guests/image.h"
+#include "src/tinyx/kernel_config.h"
+#include "src/tinyx/package_db.h"
+
+namespace tinyx {
+
+struct BuildConfig {
+  std::string app;                      // e.g. "nginx"
+  Platform platform = Platform::kXen;   // target hypervisor
+  std::vector<std::string> whitelist;   // user-forced packages
+  std::vector<std::string> blacklist_extra;  // beyond the built-in one
+  // Kernel options the user wants the trimming loop to try disabling.
+  std::vector<std::string> kernel_options_to_test;
+  // Boot test: does a kernel with `options` still run `app`? Defaults to the
+  // ground-truth test in KernelModel.
+  std::function<bool(const std::set<std::string>& options, const std::string& app)>
+      boot_test;
+};
+
+struct OverlayStep {
+  std::string description;
+  lv::Bytes delta;  // signed contribution to the rootfs size
+};
+
+struct BuiltImage {
+  std::string app;
+  std::vector<std::string> packages;        // final package set, sorted
+  std::vector<std::string> blacklisted;     // packages excluded, sorted
+  std::vector<OverlayStep> overlay_steps;   // assembly audit trail
+  std::set<std::string> kernel_options;     // final enabled options
+  std::vector<std::string> options_disabled_by_test;
+  lv::Bytes rootfs_size;
+  lv::Bytes kernel_size;
+  lv::Bytes image_size;  // kernel + rootfs bundled as initramfs
+  lv::Bytes memory_estimate;
+  int boot_tests_run = 0;
+
+  // Converts to a guest image profile runnable on the simulated host.
+  guests::GuestImage ToGuestImage() const;
+};
+
+class TinyxBuilder {
+ public:
+  explicit TinyxBuilder(PackageDb db) : db_(std::move(db)) {}
+
+  lv::Result<BuiltImage> Build(const BuildConfig& config) const;
+
+  // The dependency closure of `app` (objdump libs + package depends),
+  // before blacklisting. Exposed for testing.
+  lv::Result<std::vector<std::string>> ResolveClosure(const std::string& app) const;
+
+ private:
+  PackageDb db_;
+};
+
+}  // namespace tinyx

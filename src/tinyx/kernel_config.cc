@@ -1,0 +1,112 @@
+#include "src/tinyx/kernel_config.h"
+
+namespace tinyx {
+
+using lv::Bytes;
+
+KernelModel::KernelModel() : baseline_(Bytes::KiB(900)) {
+  options_ = {
+      // Platform front-ends.
+      {.name = "XEN_PV", .size = Bytes::KiB(340), .needed_by = {}, .needed_for_net = false,
+       .needed_for_block = false},
+      {.name = "XEN_NETDEV_FRONTEND", .size = Bytes::KiB(90), .needed_by = {},
+       .needed_for_net = true, .needed_for_block = false},
+      {.name = "XEN_BLKDEV_FRONTEND", .size = Bytes::KiB(70), .needed_by = {},
+       .needed_for_net = false, .needed_for_block = true},
+      {.name = "VIRTIO_PCI", .size = Bytes::KiB(160), .needed_by = {}},
+      {.name = "VIRTIO_NET", .size = Bytes::KiB(80), .needed_by = {},
+       .needed_for_net = true},
+      {.name = "VIRTIO_BLK", .size = Bytes::KiB(60), .needed_by = {},
+       .needed_for_block = true},
+      // Generic subsystems tinyconfig+olddefconfig pulls in for virtualized
+      // targets; candidates for the trimming loop.
+      {.name = "NET", .size = Bytes::KiB(800), .needed_by = {"nginx", "tls-proxy",
+                                                             "micropython"},
+       .needed_for_net = true},
+      {.name = "INET", .size = Bytes::KiB(420), .needed_by = {"nginx", "tls-proxy"},
+       .needed_for_net = true},
+      {.name = "EPOLL", .size = Bytes::KiB(40), .needed_by = {"nginx"}},
+      {.name = "FUTEX", .size = Bytes::KiB(32), .needed_by = {"nginx", "micropython"}},
+      {.name = "SHMEM", .size = Bytes::KiB(90), .needed_by = {"nginx"}},
+      {.name = "PROC_FS", .size = Bytes::KiB(150), .needed_by = {"nginx"}},
+      {.name = "SYSFS", .size = Bytes::KiB(120), .needed_by = {}},
+      {.name = "TMPFS", .size = Bytes::KiB(60), .needed_by = {}},
+      {.name = "MODULES", .size = Bytes::KiB(220), .needed_by = {}},
+      {.name = "ETHERNET_DRIVERS", .size = Bytes::KiB(640), .needed_by = {}},
+      {.name = "USB", .size = Bytes::KiB(540), .needed_by = {}},
+      {.name = "SOUND", .size = Bytes::KiB(700), .needed_by = {}},
+      {.name = "GPU_DRIVERS", .size = Bytes::KiB(900), .needed_by = {}},
+      {.name = "WIRELESS", .size = Bytes::KiB(760), .needed_by = {}},
+      {.name = "IPV6", .size = Bytes::KiB(520), .needed_by = {}},
+      {.name = "NETFILTER", .size = Bytes::KiB(430), .needed_by = {}},
+      {.name = "CRYPTO_FULL", .size = Bytes::KiB(380), .needed_by = {"tls-proxy"}},
+  };
+}
+
+std::vector<std::string> KernelModel::PlatformOptions(Platform platform) const {
+  if (platform == Platform::kXen) {
+    return {"XEN_PV", "XEN_NETDEV_FRONTEND", "XEN_BLKDEV_FRONTEND"};
+  }
+  return {"VIRTIO_PCI", "VIRTIO_NET", "VIRTIO_BLK"};
+}
+
+std::vector<std::string> KernelModel::DefaultOnOptions() const {
+  return {"NET",     "INET",   "EPOLL",    "FUTEX",            "SHMEM",
+          "PROC_FS", "SYSFS",  "TMPFS",    "MODULES",          "ETHERNET_DRIVERS",
+          "USB",     "SOUND",  "GPU_DRIVERS", "WIRELESS",      "IPV6",
+          "NETFILTER", "CRYPTO_FULL"};
+}
+
+const KernelOption* KernelModel::Find(const std::string& name) const {
+  for (const KernelOption& opt : options_) {
+    if (opt.name == name) {
+      return &opt;
+    }
+  }
+  return nullptr;
+}
+
+lv::Bytes KernelModel::SizeOf(const std::set<std::string>& options) const {
+  lv::Bytes total = baseline_;
+  for (const std::string& name : options) {
+    const KernelOption* opt = Find(name);
+    if (opt != nullptr) {
+      total += opt->size;
+    }
+  }
+  return total;
+}
+
+bool KernelModel::BootTest(const std::set<std::string>& options,
+                           const std::string& app) const {
+  // The image must still boot on its platform and the app test must pass:
+  // every option the app genuinely needs must be present.
+  bool has_platform = options.contains("XEN_PV") || options.contains("VIRTIO_PCI");
+  if (!has_platform) {
+    return false;
+  }
+  for (const KernelOption& opt : options_) {
+    bool needed = false;
+    for (const std::string& a : opt.needed_by) {
+      if (a == app) {
+        needed = true;
+        break;
+      }
+    }
+    if (needed && !options.contains(opt.name)) {
+      return false;
+    }
+  }
+  // Network-facing apps need a front-end NIC + the core network stack.
+  bool app_uses_net = app == "nginx" || app == "tls-proxy" || app == "micropython";
+  if (app_uses_net) {
+    bool has_frontend =
+        options.contains("XEN_NETDEV_FRONTEND") || options.contains("VIRTIO_NET");
+    if (!has_frontend || !options.contains("NET")) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tinyx

@@ -1,0 +1,120 @@
+#include "src/tinyx/package_db.h"
+
+namespace tinyx {
+
+using lv::Bytes;
+
+void PackageDb::Add(Package pkg) {
+  for (const std::string& lib : pkg.provides_libs) {
+    lib_providers_[lib] = pkg.name;
+  }
+  packages_[pkg.name] = std::move(pkg);
+}
+
+const Package* PackageDb::Find(const std::string& name) const {
+  auto it = packages_.find(name);
+  return it == packages_.end() ? nullptr : &it->second;
+}
+
+const Package* PackageDb::ProviderOf(const std::string& lib) const {
+  auto it = lib_providers_.find(lib);
+  return it == lib_providers_.end() ? nullptr : Find(it->second);
+}
+
+std::vector<std::string> PackageDb::RequiredForInstall() const {
+  std::vector<std::string> out;
+  for (const auto& [name, pkg] : packages_) {
+    if (pkg.required_for_install) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+PackageDb PackageDb::DebianBase() {
+  PackageDb db;
+  // Core libraries.
+  db.Add({.name = "libc6",
+          .installed_size = Bytes::MiBF(4.2),
+          .depends = {},
+          .needed_libs = {},
+          .provides_libs = {"libc.so.6", "libm.so.6", "libdl.so.2", "libpthread.so.0"},
+          .required_for_install = false,
+          .cache_overhead = Bytes::KiB(120)});
+  db.Add({.name = "zlib1g",
+          .installed_size = Bytes::KiB(160),
+          .depends = {"libc6"},
+          .needed_libs = {"libc.so.6"},
+          .provides_libs = {"libz.so.1"},
+          .cache_overhead = Bytes::KiB(20)});
+  db.Add({.name = "libssl",
+          .installed_size = Bytes::MiBF(2.8),
+          .depends = {"libc6", "zlib1g"},
+          .needed_libs = {"libc.so.6", "libz.so.1"},
+          .provides_libs = {"libssl.so.1.0", "libcrypto.so.1.0"},
+          .cache_overhead = Bytes::KiB(60)});
+  db.Add({.name = "libpcre3",
+          .installed_size = Bytes::KiB(450),
+          .depends = {"libc6"},
+          .needed_libs = {"libc.so.6"},
+          .provides_libs = {"libpcre.so.3"},
+          .cache_overhead = Bytes::KiB(16)});
+  db.Add({.name = "libaxtls",
+          .installed_size = Bytes::KiB(220),
+          .depends = {"libc6"},
+          .needed_libs = {"libc.so.6"},
+          .provides_libs = {"libaxtls.so.1"},
+          .cache_overhead = Bytes::KiB(8)});
+  // Applications.
+  db.Add({.name = "nginx",
+          .installed_size = Bytes::MiBF(1.3),
+          .depends = {"libc6", "zlib1g", "libpcre3", "libssl"},
+          .needed_libs = {"libc.so.6", "libz.so.1", "libpcre.so.3", "libssl.so.1.0"},
+          .provides_libs = {},
+          .cache_overhead = Bytes::KiB(200)});
+  db.Add({.name = "micropython",
+          .installed_size = Bytes::KiB(640),
+          .depends = {"libc6"},
+          .needed_libs = {"libc.so.6", "libm.so.6"},
+          .provides_libs = {},
+          .cache_overhead = Bytes::KiB(40)});
+  db.Add({.name = "tls-proxy",
+          .installed_size = Bytes::KiB(380),
+          .depends = {"libc6", "libaxtls"},
+          .needed_libs = {"libc.so.6", "libaxtls.so.1"},
+          .provides_libs = {},
+          .cache_overhead = Bytes::KiB(12)});
+  // Base system.
+  db.Add({.name = "busybox",
+          .installed_size = Bytes::MiBF(1.1),
+          .depends = {"libc6"},
+          .needed_libs = {"libc.so.6"},
+          .provides_libs = {},
+          .cache_overhead = Bytes::KiB(30)});
+  // Installation machinery: required by Debian but not needed at runtime —
+  // exactly what the Tinyx blacklist exists for.
+  db.Add({.name = "dpkg",
+          .installed_size = Bytes::MiBF(6.6),
+          .depends = {"libc6", "zlib1g"},
+          .needed_libs = {"libc.so.6", "libz.so.1"},
+          .provides_libs = {},
+          .required_for_install = true,
+          .cache_overhead = Bytes::MiBF(1.5)});
+  db.Add({.name = "apt",
+          .installed_size = Bytes::MiBF(3.8),
+          .depends = {"libc6", "dpkg"},
+          .needed_libs = {"libc.so.6"},
+          .provides_libs = {},
+          .required_for_install = true,
+          .cache_overhead = Bytes::MiBF(2.0)});
+  db.Add({.name = "perl-base",
+          .installed_size = Bytes::MiBF(5.5),
+          .depends = {"libc6"},
+          .needed_libs = {"libc.so.6"},
+          .provides_libs = {},
+          .required_for_install = true,
+          .cache_overhead = Bytes::KiB(500)});
+  return db;
+}
+
+}  // namespace tinyx

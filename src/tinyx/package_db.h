@@ -1,0 +1,55 @@
+// Package database for the Tinyx build system (paper §3.2).
+//
+// Tinyx derives an application's dependency closure two ways: objdump over
+// the binary yields required shared libraries, and the Debian package
+// manager yields declared package dependencies. The database here models a
+// Debian-like repository: packages with sizes, dependency edges, provided
+// shared libraries, and the "required" flag that marks packages needed only
+// for installation (dpkg, apt, ...) which Tinyx blacklists.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/units.h"
+
+namespace tinyx {
+
+struct Package {
+  std::string name;
+  lv::Bytes installed_size;
+  // Declared package dependencies (package-manager channel).
+  std::vector<std::string> depends;
+  // Shared libraries this package's binaries link against (objdump channel).
+  std::vector<std::string> needed_libs;
+  // Shared libraries this package provides.
+  std::vector<std::string> provides_libs;
+  // Marked "required" by the distribution (mostly for installation).
+  bool required_for_install = false;
+  // Installation scripts leave this much cache/bookkeeping behind, which the
+  // Tinyx overlay pass removes.
+  lv::Bytes cache_overhead;
+};
+
+class PackageDb {
+ public:
+  void Add(Package pkg);
+  const Package* Find(const std::string& name) const;
+  // Package providing a shared library, if any.
+  const Package* ProviderOf(const std::string& lib) const;
+  std::vector<std::string> RequiredForInstall() const;
+  size_t size() const { return packages_.size(); }
+
+  // A Debian-jessie-like base repository with the applications the paper
+  // builds Tinyx images for (nginx, micropython, TLS termination).
+  static PackageDb DebianBase();
+
+ private:
+  std::unordered_map<std::string, Package> packages_;
+  std::unordered_map<std::string, std::string> lib_providers_;
+};
+
+}  // namespace tinyx

@@ -1,0 +1,285 @@
+#include "src/toolstack/chaos.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace toolstack {
+
+namespace {
+constexpr const char* kMod = "chaos";
+}  // namespace
+
+ChaosToolstack::ChaosToolstack(HostEnv env, Costs costs, bool use_noxs, ChaosDaemon* daemon)
+    : Toolstack(std::move(env)), costs_(costs), use_noxs_(use_noxs), daemon_(daemon) {
+  if (!use_noxs_) {
+    LV_CHECK_MSG(env_.store != nullptr, "chaos [XS] requires the XenStore");
+    client_ = std::make_unique<xs::XsClient>(env_.engine, env_.store, hv::kDom0);
+  }
+}
+
+ChaosToolstack::~ChaosToolstack() = default;
+
+const char* ChaosToolstack::name() const {
+  if (use_noxs_) {
+    return split() ? "chaos [NoXS+split] (LightVM)" : "chaos [NoXS]";
+  }
+  return split() ? "chaos [XS+split]" : "chaos [XS]";
+}
+
+sim::Co<lv::Result<Shell>> ChaosToolstack::ObtainShell(sim::ExecCtx ctx,
+                                                       const VmConfig& config) {
+  if (daemon_ != nullptr) {
+    std::optional<Shell> pooled = daemon_->TryTake(config.image.memory,
+                                                   config.image.wants_net);
+    if (pooled.has_value()) {
+      co_return *pooled;
+    }
+    // Pool miss: fall back to inline preparation (and let the daemon refill).
+  }
+  co_return co_await PrepareShell(env_, costs_, ctx, config.image.memory,
+                                  config.image.wants_net, use_noxs_, client_.get());
+}
+
+sim::Co<lv::Status> ChaosToolstack::ExecutePhase(sim::ExecCtx ctx, Shell& shell,
+                                                 const VmConfig& config, lv::Bytes payload,
+                                                 bool is_restore) {
+  lv::TimePoint t0 = env_.engine->now();
+  // Device initialization.
+  if (use_noxs_) {
+    if (shell.net_info.has_value()) {
+      (void)co_await env_.hv->DevicePageWrite(ctx, hv::kDom0, shell.domid, *shell.net_info);
+    }
+    if (shell.sysctl_info.has_value()) {
+      (void)co_await env_.hv->DevicePageWrite(ctx, hv::kDom0, shell.domid,
+                                              *shell.sysctl_info);
+    }
+  } else {
+    // chaos [XS]: a handful of store records (name with uniqueness check +
+    // the minimal guest records), plus the device entries if the shell did
+    // not pre-create them.
+    lv::Status name_ok = co_await client_->WriteUniqueName(ctx, shell.domid, config.name);
+    if (!name_ok.ok()) {
+      co_return name_ok;
+    }
+    std::string base = lv::StrFormat("/local/domain/%lld", (long long)shell.domid);
+    lv::Status records = co_await xs::RunTransaction(
+        ctx, client_.get(), /*max_retries=*/8, [&](xs::TxnId txn) -> sim::Co<lv::Status> {
+          static const char* kRecords[] = {"/vm", "/memory/target", "/console/ring-ref",
+                                           "/control/shutdown", "/domid", "/image/kernel"};
+          int written = 0;
+          for (const char* rec : kRecords) {
+            if (written >= costs_.chaos_xenstore_records) {
+              break;
+            }
+            lv::Status s = co_await client_->Write(ctx, base + rec, "x", txn);
+            if (!s.ok()) {
+              co_return s;
+            }
+            ++written;
+          }
+          co_return lv::Status::Ok();
+        });
+    if (!records.ok()) {
+      co_return records;
+    }
+    if (config.image.wants_net && !shell.xs_devices_precreated &&
+        env_.netback != nullptr) {
+      lv::Status s = co_await env_.netback->XsToolstackCreate(ctx, client_.get(),
+                                                              shell.domid, nullptr);
+      if (!s.ok()) {
+        co_return s;
+      }
+      shell.xs_devices_precreated = true;
+    }
+  }
+  breakdown_.devices += env_.engine->now() - t0;
+
+  // Image build: parse + load the kernel (or the restore stream).
+  t0 = env_.engine->now();
+  if (!is_restore) {
+    co_await ctx.Work(costs_.image_parse_per_page *
+                      static_cast<double>(lv::PagesFor(payload)));
+  } else {
+    co_await ctx.Work(costs_.snapshot_file_overhead);
+  }
+  (void)co_await env_.hv->CopyToDomain(ctx, shell.domid, payload);
+  breakdown_.load += env_.engine->now() - t0;
+  co_return lv::Status::Ok();
+}
+
+sim::Co<void> ChaosToolstack::BootGuest(sim::ExecCtx ctx, const Shell& shell,
+                                        const VmConfig& config, bool resume) {
+  VmRecord record;
+  record.config = config;
+  record.core = shell.core;
+  record.created_at = env_.engine->now();
+  record.guest = std::make_unique<guests::Guest>(
+      env_.engine, config.image, shell.domid, MakeBootEnv(shell.core, !use_noxs_));
+  record.guest->set_resume(resume);
+  env_.hv->FindDomain(shell.domid)->set_start_fn(record.guest->MakeStartFn());
+  TrackVm(shell.domid, std::move(record));
+  (void)co_await env_.hv->DomainFinishBuild(ctx, shell.domid);
+  (void)co_await env_.hv->DomainUnpause(ctx, shell.domid);
+}
+
+sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::Create(sim::ExecCtx ctx, VmConfig config) {
+  breakdown_ = CreateBreakdown{};
+  lv::TimePoint t0 = env_.engine->now();
+  co_await ctx.Work(costs_.chaos_config_parse);
+  breakdown_.config = env_.engine->now() - t0;
+
+  t0 = env_.engine->now();
+  co_await ctx.Work(costs_.chaos_state_keeping);
+  breakdown_.toolstack = env_.engine->now() - t0;
+
+  t0 = env_.engine->now();
+  auto shell = co_await ObtainShell(ctx, config);
+  breakdown_.hypervisor = env_.engine->now() - t0;
+  if (!shell.ok()) {
+    co_return shell.error();
+  }
+
+  lv::Status exec = co_await ExecutePhase(ctx, *shell, config, config.image.kernel_size,
+                                          /*is_restore=*/false);
+  if (!exec.ok()) {
+    (void)co_await env_.hv->DomainDestroy(ctx, shell->domid);
+    co_return exec.error();
+  }
+  co_await BootGuest(ctx, *shell, config, /*resume=*/false);
+  LV_DEBUG(kMod, "created dom%lld (%s)", (long long)shell->domid, config.name.c_str());
+  co_return shell->domid;
+}
+
+sim::Co<lv::Status> ChaosToolstack::DestroyDevices(sim::ExecCtx ctx, hv::DomainId domid,
+                                                   const VmConfig& config) {
+  if (use_noxs_) {
+    if (config.image.wants_net && env_.netback != nullptr &&
+        env_.netback->HasDevice(domid)) {
+      (void)co_await env_.netback->NoxsDestroy(ctx, domid);
+    }
+    if (env_.sysctl != nullptr && env_.sysctl->HasDevice(domid)) {
+      (void)co_await env_.sysctl->Destroy(ctx, domid);
+    }
+  } else {
+    if (config.image.wants_net && env_.netback != nullptr &&
+        env_.netback->HasDevice(domid)) {
+      (void)co_await env_.netback->XsToolstackDestroy(ctx, client_.get(), domid, nullptr);
+    }
+    (void)co_await client_->Rm(ctx, lv::StrFormat("/local/domain/%lld", (long long)domid));
+  }
+  co_return lv::Status::Ok();
+}
+
+sim::Co<lv::Status> ChaosToolstack::Destroy(sim::ExecCtx ctx, hv::DomainId domid) {
+  auto it = vms_.find(domid);
+  if (it == vms_.end()) {
+    co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");
+  }
+  co_await ctx.Work(costs_.chaos_state_keeping);
+  it->second.guest->Stop();
+  (void)co_await DestroyDevices(ctx, domid, it->second.config);
+  lv::Status destroyed = co_await env_.hv->DomainDestroy(ctx, domid);
+  UntrackVm(domid);
+  co_return destroyed;
+}
+
+sim::Co<lv::Status> ChaosToolstack::SuspendForMigration(sim::ExecCtx ctx,
+                                                        hv::DomainId domid) {
+  if (use_noxs_) {
+    LV_CHECK_MSG(env_.sysctl != nullptr, "noxs suspend requires the sysctl device");
+    co_return co_await env_.sysctl->RequestShutdown(ctx, domid,
+                                                    hv::ShutdownReason::kSuspend);
+  }
+  // XS mode: the control/shutdown dance.
+  lv::Status req = co_await client_->Write(
+      ctx, lv::StrFormat("/local/domain/%lld/control/shutdown", (long long)domid),
+      "suspend");
+  if (!req.ok()) {
+    co_return req;
+  }
+  while (true) {
+    auto info = co_await env_.hv->DomainGetInfo(ctx, domid);
+    if (!info.ok()) {
+      co_return info.error();
+    }
+    if (info->state == hv::DomainState::kSuspended) {
+      co_return lv::Status::Ok();
+    }
+    co_await env_.engine->Sleep(lv::Duration::Micros(500));
+  }
+}
+
+sim::Co<lv::Result<Snapshot>> ChaosToolstack::Save(sim::ExecCtx ctx, hv::DomainId domid) {
+  auto it = vms_.find(domid);
+  if (it == vms_.end()) {
+    co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");
+  }
+  VmConfig config = it->second.config;
+  co_await ctx.Work(costs_.chaos_state_keeping);
+  lv::Status suspended = co_await SuspendForMigration(ctx, domid);
+  if (!suspended.ok()) {
+    co_return suspended.error();
+  }
+  co_await ctx.Work(costs_.snapshot_file_overhead);
+  (void)co_await env_.hv->CopyFromDomain(ctx, domid, config.image.memory);
+  (void)co_await DestroyDevices(ctx, domid, config);
+  (void)co_await env_.hv->DomainDestroy(ctx, domid);
+  UntrackVm(domid);
+  lv::Bytes memory = config.image.memory;
+  co_return Snapshot{std::move(config), memory};
+}
+
+sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::PrepareIncoming(sim::ExecCtx ctx,
+                                                                  VmConfig config) {
+  co_await ctx.Work(costs_.chaos_config_parse);
+  auto shell = co_await ObtainShell(ctx, config);
+  if (!shell.ok()) {
+    co_return shell.error();
+  }
+  // Record the pending shell; FinishIncoming completes it.
+  pending_incoming_.emplace(shell->domid, *shell);
+  co_return shell->domid;
+}
+
+sim::Co<lv::Status> ChaosToolstack::FinishIncoming(sim::ExecCtx ctx, hv::DomainId domid,
+                                                   const Snapshot& snap) {
+  auto it = pending_incoming_.find(domid);
+  if (it == pending_incoming_.end()) {
+    co_return lv::Err(lv::ErrorCode::kNotFound, "no pending incoming domain");
+  }
+  Shell shell = it->second;
+  pending_incoming_.erase(it);
+  lv::Status exec =
+      co_await ExecutePhase(ctx, shell, snap.config, snap.memory, /*is_restore=*/true);
+  if (!exec.ok()) {
+    co_return exec;
+  }
+  co_await BootGuest(ctx, shell, snap.config, /*resume=*/true);
+  co_return lv::Status::Ok();
+}
+
+sim::Co<lv::Status> ChaosToolstack::TeardownAfterMigration(sim::ExecCtx ctx,
+                                                           hv::DomainId domid) {
+  auto it = vms_.find(domid);
+  if (it == vms_.end()) {
+    co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");
+  }
+  (void)co_await DestroyDevices(ctx, domid, it->second.config);
+  lv::Status destroyed = co_await env_.hv->DomainDestroy(ctx, domid);
+  UntrackVm(domid);
+  co_return destroyed;
+}
+
+sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::Restore(sim::ExecCtx ctx, Snapshot snap) {
+  auto domid = co_await PrepareIncoming(ctx, snap.config);
+  if (!domid.ok()) {
+    co_return domid;
+  }
+  lv::Status finished = co_await FinishIncoming(ctx, *domid, snap);
+  if (!finished.ok()) {
+    co_return finished.error();
+  }
+  co_return *domid;
+}
+
+}  // namespace toolstack

@@ -1,0 +1,124 @@
+#include "src/toolstack/config.h"
+
+#include <cstdlib>
+
+#include "src/base/strings.h"
+
+namespace toolstack {
+
+lv::Result<guests::GuestImage> ImageByName(const std::string& name) {
+  if (name == "daytime") {
+    return guests::DaytimeUnikernel();
+  }
+  if (name == "noop") {
+    return guests::NoopUnikernel();
+  }
+  if (name == "minipython") {
+    return guests::MinipythonUnikernel();
+  }
+  if (name == "clickos-fw") {
+    return guests::ClickOsFirewall();
+  }
+  if (name == "tls-unikernel") {
+    return guests::TlsUnikernel();
+  }
+  if (name == "tinyx") {
+    return guests::TinyxNoop();
+  }
+  if (name == "tinyx-micropython") {
+    return guests::TinyxMicropython();
+  }
+  if (name == "tinyx-tls") {
+    return guests::TinyxTls();
+  }
+  if (name == "debian") {
+    return guests::DebianVm();
+  }
+  if (name == "debian-micropython") {
+    return guests::DebianMicropython();
+  }
+  return lv::Err(lv::ErrorCode::kNotFound, "unknown image: " + name);
+}
+
+namespace {
+
+// Strips whitespace and an optional trailing comment from a line.
+std::string StripLine(std::string line) {
+  size_t comment = line.find('#');
+  if (comment != std::string::npos) {
+    line = line.substr(0, comment);
+  }
+  size_t begin = line.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  size_t end = line.find_last_not_of(" \t\r");
+  return line.substr(begin, end - begin + 1);
+}
+
+// Removes surrounding quotes/brackets from a value token.
+std::string Unquote(std::string value) {
+  while (!value.empty() && (value.front() == '"' || value.front() == '\'' ||
+                            value.front() == '[' || value.front() == ' ')) {
+    value.erase(value.begin());
+  }
+  while (!value.empty() && (value.back() == '"' || value.back() == '\'' ||
+                            value.back() == ']' || value.back() == ' ')) {
+    value.pop_back();
+  }
+  return value;
+}
+
+}  // namespace
+
+lv::Result<VmConfig> ParseVmConfig(const std::string& text) {
+  VmConfig config;
+  std::string kernel;
+  int64_t memory_mib = -1;
+  for (const std::string& raw : lv::Split(text, '\n')) {
+    std::string line = StripLine(raw);
+    if (line.empty()) {
+      continue;
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return lv::Err(lv::ErrorCode::kInvalidArgument, "malformed line: " + line);
+    }
+    std::string key = StripLine(line.substr(0, eq));
+    std::string value = Unquote(StripLine(line.substr(eq + 1)));
+    if (key == "name") {
+      config.name = value;
+    } else if (key == "kernel") {
+      kernel = value;
+    } else if (key == "memory") {
+      memory_mib = std::atoll(value.c_str());
+      if (memory_mib <= 0) {
+        return lv::Err(lv::ErrorCode::kInvalidArgument, "bad memory value: " + value);
+      }
+    } else if (key == "vcpus") {
+      config.vcpus = static_cast<int>(std::atoll(value.c_str()));
+      if (config.vcpus <= 0) {
+        return lv::Err(lv::ErrorCode::kInvalidArgument, "bad vcpus value: " + value);
+      }
+    }
+    // Other keys (vif, disk, on_crash, ...) are accepted and ignored, as xl
+    // tolerates unknown extras in many positions.
+  }
+  if (config.name.empty()) {
+    return lv::Err(lv::ErrorCode::kInvalidArgument, "config missing 'name'");
+  }
+  if (kernel.empty()) {
+    return lv::Err(lv::ErrorCode::kInvalidArgument, "config missing 'kernel'");
+  }
+  auto image = ImageByName(kernel);
+  if (!image.ok()) {
+    return image.error();
+  }
+  config.image = *image;
+  if (memory_mib > 0) {
+    config.image.memory = lv::Bytes::MiB(memory_mib);
+  }
+  return config;
+}
+
+}  // namespace toolstack

@@ -1,0 +1,34 @@
+// VM configuration file parsing — the "config" phase of Figure 5.
+//
+// xl reads an xl.cfg-style file:
+//
+//     name   = "web0"
+//     kernel = "daytime"        # image name from the registry
+//     memory = 4                # MiB override (optional)
+//     vcpus  = 1
+//     vif    = [ "bridge=xenbr0" ]
+//
+// chaos reads the same syntax but only the four keys it needs. The parser is
+// a real tokenizer (not simulated): the simulated parse *cost* is still
+// charged by the toolstacks, while this code provides the functional path
+// from text to VmConfig for the CLI and tests.
+#pragma once
+
+#include <string>
+
+#include "src/base/result.h"
+#include "src/guests/image.h"
+#include "src/toolstack/toolstack.h"
+
+namespace toolstack {
+
+// Looks up a guest image by its registry name ("daytime", "noop",
+// "minipython", "clickos-fw", "tls-unikernel", "tinyx", "tinyx-micropython",
+// "tinyx-tls", "debian", "debian-micropython").
+lv::Result<guests::GuestImage> ImageByName(const std::string& name);
+
+// Parses an xl.cfg-style document into a VmConfig. Unknown keys are ignored
+// (as xl does for many); `name` and `kernel` are required.
+lv::Result<VmConfig> ParseVmConfig(const std::string& text);
+
+}  // namespace toolstack

@@ -1,0 +1,53 @@
+// Toolstack cost model.
+//
+// xl/libxl carries years of generality: JSON config handling, libxl ctx
+// setup, domain-list scans and persistent state under /var/lib/xl. chaos
+// "is much leaner than the standard xl/libxl" (§5): a fixed-format config
+// and no global bookkeeping.
+#pragma once
+
+#include "src/base/time.h"
+
+namespace toolstack {
+
+struct Costs {
+  // --- xl / libxl -----------------------------------------------------------
+  // Parsing the VM config file + building the libxl JSON domain object.
+  lv::Duration xl_config_parse = lv::Duration::Millis(10);
+  // libxl ctx init, lock files, /var/lib/xl bookkeeping per command.
+  lv::Duration xl_state_keeping = lv::Duration::Millis(8);
+  // Additional per-existing-domain bookkeeping (domain list scans, name
+  // lookups in libxl's own records) — one source of xl's growth with N.
+  lv::Duration xl_per_domain_overhead = lv::Duration::Micros(700);
+  // Number of non-device XenStore records xl writes for a new guest
+  // ("the VM creation process alone can require interaction with over 30
+  // XenStore entries" — devices add their own on top).
+  int xl_xenstore_records = 24;
+  // Linux guests carry more per-VM state in the store (balloon targets,
+  // vfb/console trees, rtc, feature flags).
+  int xl_xenstore_records_tinyx = 32;
+  int xl_xenstore_records_debian = 44;
+  // Records removed at destroy/save teardown.
+  int xl_xenstore_teardown_records = 10;
+
+  // --- chaos / libchaos -------------------------------------------------------
+  // Fixed-format config parse.
+  lv::Duration chaos_config_parse = lv::Duration::Micros(60);
+  // Minimal per-command state keeping.
+  lv::Duration chaos_state_keeping = lv::Duration::Micros(40);
+  // chaos still writes a handful of store records when running with the
+  // XenStore (chaos [XS] mode).
+  int chaos_xenstore_records = 8;
+
+  // --- Shared ------------------------------------------------------------------
+  // Parsing/validating the kernel image: per 4 KiB page of image read from
+  // the (ram)disk. Together with hv::Costs::per_page_copy this produces the
+  // linear boot-vs-image-size growth of Figure 2.
+  lv::Duration image_parse_per_page = lv::Duration::Nanos(900);
+  // Console setup, vfb and misc per-VM device glue outside net/block.
+  lv::Duration misc_device_setup = lv::Duration::Millis(1);
+  // Writing a snapshot file header / opening the save file on the ramdisk.
+  lv::Duration snapshot_file_overhead = lv::Duration::Millis(8);
+};
+
+}  // namespace toolstack

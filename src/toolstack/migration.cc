@@ -1,0 +1,53 @@
+#include "src/toolstack/migration.h"
+
+#include "src/base/log.h"
+
+namespace toolstack {
+
+sim::Co<lv::Status> Migrate(Toolstack* local, sim::ExecCtx local_ctx, hv::DomainId domid,
+                            MigrationDaemon* remote, xnet::Link* link) {
+  const VmConfig* config_ptr = local->config_of(domid);
+  if (config_ptr == nullptr) {
+    co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");
+  }
+  VmConfig config = *config_ptr;
+
+  // Open the TCP connection to the remote migration daemon and stream the
+  // guest configuration.
+  xnet::TcpConnection conn(link);
+  co_await conn.Connect();
+  co_await conn.Send(kMigrationConfigSize);
+
+  // Remote side pre-creates the domain and its devices.
+  auto remote_domid =
+      co_await remote->toolstack()->PrepareIncoming(remote->ctx(), config);
+  if (!remote_domid.ok()) {
+    co_return remote_domid.error();
+  }
+
+  // Suspend the guest (sysctl ioctl under noxs, control node under the XS
+  // paths), then stream its memory.
+  lv::Status suspended = co_await local->SuspendForMigration(local_ctx, domid);
+  if (!suspended.ok()) {
+    co_return suspended;
+  }
+  lv::Bytes memory = config.image.memory;
+  (void)co_await local->env().hv->CopyFromDomain(local_ctx, domid, memory);
+  co_await conn.Send(memory);
+
+  // Remote completes the restore and resumes the guest. The snapshot is a
+  // named local: passing a temporary by reference into an awaited coroutine
+  // miscompiles on GCC 12 (premature temporary destruction).
+  Snapshot snapshot{config, memory};
+  lv::Status finished = co_await remote->toolstack()->FinishIncoming(
+      remote->ctx(), *remote_domid, snapshot);
+  if (!finished.ok()) {
+    co_return finished;
+  }
+  remote->count_received();
+
+  // Source tears down its copy.
+  co_return co_await local->TeardownAfterMigration(local_ctx, domid);
+}
+
+}  // namespace toolstack

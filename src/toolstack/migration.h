@@ -1,0 +1,44 @@
+// VM migration between two hosts (paper §5.1):
+//
+// "migration begins by chaos opening a TCP connection to a migration daemon
+//  running on the remote host and by sending the guest's configuration so
+//  that the daemon pre-creates the domain and creates the devices. Next, to
+//  suspend the guest, chaos issues an ioctl to the sysctl back-end...
+//  Once the guest is suspended we rely on libxc code to send the guest data
+//  to the remote host."
+//
+// The same protocol drives xl-style migration (via the XenStore control
+// node) so Figure 13 can compare all toolstack variants.
+#pragma once
+
+#include "src/net/link.h"
+#include "src/toolstack/toolstack.h"
+
+namespace toolstack {
+
+// The remote host's migration daemon: accepts pre-create + restore requests
+// and executes them on the remote Dom0's execution context.
+class MigrationDaemon {
+ public:
+  MigrationDaemon(Toolstack* ts, sim::ExecCtx daemon_ctx) : ts_(ts), ctx_(daemon_ctx) {}
+
+  Toolstack* toolstack() { return ts_; }
+  sim::ExecCtx ctx() const { return ctx_; }
+
+  int64_t migrations_received() const { return received_; }
+  void count_received() { ++received_; }
+
+ private:
+  Toolstack* ts_;
+  sim::ExecCtx ctx_;
+  int64_t received_ = 0;
+};
+
+// Migrates `domid` from `local` to the host behind `remote` over `link`.
+// Size of the configuration blob sent before pre-creation.
+inline constexpr lv::Bytes kMigrationConfigSize = lv::Bytes::KiB(4);
+
+sim::Co<lv::Status> Migrate(Toolstack* local, sim::ExecCtx local_ctx, hv::DomainId domid,
+                            MigrationDaemon* remote, xnet::Link* link);
+
+}  // namespace toolstack

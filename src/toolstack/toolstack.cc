@@ -1,0 +1,39 @@
+#include "src/toolstack/toolstack.h"
+
+namespace toolstack {
+
+guests::BootEnv Toolstack::MakeBootEnv(int core, bool use_store) {
+  guests::BootEnv env;
+  env.cpu = env_.cpu;
+  env.hv = env_.hv;
+  env.store = use_store ? env_.store : nullptr;
+  env.netback = env_.netback;
+  env.blkback = env_.blkback;
+  env.sysctl = env_.sysctl;
+  env.peers_on_core = [this, core] { return PeersOnCore(core); };
+  return env;
+}
+
+int64_t Toolstack::PeersOnCore(int core) const {
+  auto it = core_population_.find(core);
+  return it == core_population_.end() ? 0 : it->second;
+}
+
+void Toolstack::TrackVm(hv::DomainId domid, VmRecord record) {
+  ++core_population_[record.core];
+  vms_.emplace(domid, std::move(record));
+}
+
+void Toolstack::UntrackVm(hv::DomainId domid) {
+  auto it = vms_.find(domid);
+  if (it == vms_.end()) {
+    return;
+  }
+  auto pop = core_population_.find(it->second.core);
+  if (pop != core_population_.end() && pop->second > 0) {
+    --pop->second;
+  }
+  vms_.erase(it);
+}
+
+}  // namespace toolstack

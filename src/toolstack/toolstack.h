@@ -1,0 +1,113 @@
+// Toolstack interface: the Dom0 control-plane software that creates, saves,
+// restores, migrates and destroys VMs. Two implementations:
+//
+//  * XlToolstack — models xl/libxl/libxc on stock Xen: JSON config parsing,
+//    O(#domains) bookkeeping, ~tens of XenStore records per VM, synchronous
+//    bash hotplug scripts.
+//  * ChaosToolstack — the paper's replacement (§5): lean parsing, minimal
+//    state, optional noxs (no XenStore) and optional split toolstack
+//    (pre-created domain shells from the chaos daemon).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/base/result.h"
+#include "src/guests/guest.h"
+#include "src/toolstack/env.h"
+
+namespace toolstack {
+
+struct VmConfig {
+  std::string name;
+  guests::GuestImage image;
+  int vcpus = 1;
+};
+
+// Phase breakdown of one VM creation, the Figure 5 categories.
+struct CreateBreakdown {
+  lv::Duration config;      // parsing the configuration file
+  lv::Duration toolstack;   // internal information and state keeping
+  lv::Duration hypervisor;  // reserving/preparing memory, vCPUs, ...
+  lv::Duration xenstore;    // writing guest information to the store
+  lv::Duration devices;     // creating and configuring virtual devices
+  lv::Duration load;        // parsing the kernel image, loading it into memory
+
+  lv::Duration total() const {
+    return config + toolstack + hypervisor + xenstore + devices + load;
+  }
+};
+
+// A saved VM checkpoint (the content of the save file on the ramdisk).
+struct Snapshot {
+  VmConfig config;
+  lv::Bytes memory;  // guest memory stream size
+};
+
+class Toolstack {
+ public:
+  explicit Toolstack(HostEnv env) : env_(std::move(env)) {}
+  virtual ~Toolstack() = default;
+  Toolstack(const Toolstack&) = delete;
+  Toolstack& operator=(const Toolstack&) = delete;
+
+  virtual const char* name() const = 0;
+
+  // Creates and boots a VM. Returns once the domain is unpaused (the guest
+  // boots asynchronously; use guest()->WaitBooted()).
+  virtual sim::Co<lv::Result<hv::DomainId>> Create(sim::ExecCtx ctx, VmConfig config) = 0;
+  virtual sim::Co<lv::Status> Destroy(sim::ExecCtx ctx, hv::DomainId domid) = 0;
+  // Checkpoint to the (ram)disk; the domain is torn down afterwards, like
+  // `xl save` / `chaos save`.
+  virtual sim::Co<lv::Result<Snapshot>> Save(sim::ExecCtx ctx, hv::DomainId domid) = 0;
+  virtual sim::Co<lv::Result<hv::DomainId>> Restore(sim::ExecCtx ctx, Snapshot snap) = 0;
+
+  // Migration protocol pieces (paper §5.1): the remote migration daemon
+  // pre-creates the domain and devices from the streamed configuration, the
+  // source suspends the guest and streams its memory, the remote completes
+  // the restore and the source tears its copy down.
+  virtual sim::Co<lv::Result<hv::DomainId>> PrepareIncoming(sim::ExecCtx ctx,
+                                                            VmConfig config) = 0;
+  virtual sim::Co<lv::Status> FinishIncoming(sim::ExecCtx ctx, hv::DomainId domid,
+                                             const Snapshot& snap) = 0;
+  virtual sim::Co<lv::Status> SuspendForMigration(sim::ExecCtx ctx, hv::DomainId domid) = 0;
+  virtual sim::Co<lv::Status> TeardownAfterMigration(sim::ExecCtx ctx,
+                                                     hv::DomainId domid) = 0;
+
+  // Breakdown of the most recent Create (Figure 5).
+  const CreateBreakdown& last_breakdown() const { return breakdown_; }
+
+  guests::Guest* guest(hv::DomainId domid) {
+    auto it = vms_.find(domid);
+    return it == vms_.end() ? nullptr : it->second.guest.get();
+  }
+  const VmConfig* config_of(hv::DomainId domid) const {
+    auto it = vms_.find(domid);
+    return it == vms_.end() ? nullptr : &it->second.config;
+  }
+  int64_t num_vms() const { return static_cast<int64_t>(vms_.size()); }
+  HostEnv& env() { return env_; }
+
+ protected:
+  struct VmRecord {
+    VmConfig config;
+    std::unique_ptr<guests::Guest> guest;
+    int core = 0;
+    lv::TimePoint created_at;
+  };
+
+  // Builds the guest's boot environment for a given core.
+  guests::BootEnv MakeBootEnv(int core, bool use_store);
+  // Guests co-located on `core` (drives boot-time contention, Fig. 11).
+  int64_t PeersOnCore(int core) const;
+  void TrackVm(hv::DomainId domid, VmRecord record);
+  void UntrackVm(hv::DomainId domid);
+
+  HostEnv env_;
+  CreateBreakdown breakdown_;
+  std::unordered_map<hv::DomainId, VmRecord> vms_;
+  std::unordered_map<int, int64_t> core_population_;
+};
+
+}  // namespace toolstack

@@ -1,0 +1,344 @@
+#include "src/toolstack/xl.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace toolstack {
+
+namespace {
+constexpr const char* kMod = "xl";
+}  // namespace
+
+XlToolstack::XlToolstack(HostEnv env, Costs costs)
+    : Toolstack(std::move(env)), costs_(costs) {
+  LV_CHECK_MSG(env_.store != nullptr, "xl requires the XenStore");
+  client_ = std::make_unique<xs::XsClient>(env_.engine, env_.store, hv::kDom0);
+}
+
+XlToolstack::~XlToolstack() = default;
+
+sim::Co<lv::Status> XlToolstack::WriteGuestRecords(sim::ExecCtx ctx, hv::DomainId domid,
+                                                   const VmConfig& config) {
+  // The unique-name admission write (O(#domains) scan inside the store).
+  lv::Status name_ok = co_await client_->WriteUniqueName(ctx, domid, config.name);
+  if (!name_ok.ok()) {
+    co_return name_ok;
+  }
+  std::string base = lv::StrFormat("/local/domain/%lld", (long long)domid);
+  // Linux guests carry more store state than unikernels (balloon, vfb, rtc).
+  int record_count = costs_.xl_xenstore_records;
+  if (config.image.kind == guests::GuestKind::kTinyx) {
+    record_count = costs_.xl_xenstore_records_tinyx;
+  } else if (config.image.kind == guests::GuestKind::kDebian) {
+    record_count = costs_.xl_xenstore_records_debian;
+  }
+  // The remaining records go through a transaction, as libxl does.
+  co_return co_await xs::RunTransaction(
+      ctx, client_.get(), /*max_retries=*/8, [&](xs::TxnId txn) -> sim::Co<lv::Status> {
+        static const char* kRecords[] = {
+            "/vm",          "/memory/target", "/memory/static-max", "/console/ring-ref",
+            "/console/port", "/console/type",  "/cpu/0/availability", "/control/platform",
+            "/control/shutdown", "/data",      "/device",            "/store/port",
+            "/store/ring-ref",   "/image/ostype", "/image/kernel",  "/domid",
+        };
+        int written = 0;
+        for (const char* rec : kRecords) {
+          if (written >= record_count) {
+            break;
+          }
+          lv::Status s = co_await client_->Write(ctx, base + rec, "x", txn);
+          if (!s.ok()) {
+            co_return s;
+          }
+          ++written;
+        }
+        // Any remainder beyond the named records (libxl writes more).
+        for (; written < record_count; ++written) {
+          lv::Status s =
+              co_await client_->Write(ctx, base + lv::StrFormat("/extra/%d", written), "x",
+                                      txn);
+          if (!s.ok()) {
+            co_return s;
+          }
+        }
+        co_return lv::Status::Ok();
+      });
+}
+
+sim::Co<lv::Status> XlToolstack::RemoveGuestRecords(sim::ExecCtx ctx, hv::DomainId domid) {
+  std::string base = lv::StrFormat("/local/domain/%lld", (long long)domid);
+  // libxl removes entries piecemeal before dropping the whole directory.
+  for (int i = 0; i < costs_.xl_xenstore_teardown_records; ++i) {
+    (void)co_await client_->Read(ctx, base + "/vm");
+  }
+  co_return co_await client_->Rm(ctx, base);
+}
+
+sim::Co<lv::Status> XlToolstack::WaitForState(sim::ExecCtx ctx, hv::DomainId domid,
+                                              hv::DomainState state) {
+  while (true) {
+    auto info = co_await env_.hv->DomainGetInfo(ctx, domid);
+    if (!info.ok()) {
+      co_return info.error();
+    }
+    if (info->state == state) {
+      co_return lv::Status::Ok();
+    }
+    co_await env_.engine->Sleep(lv::Duration::Micros(500));
+  }
+}
+
+sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig config) {
+  breakdown_ = CreateBreakdown{};
+  lv::TimePoint t0 = env_.engine->now();
+
+  // --- Config parsing ----------------------------------------------------------
+  co_await ctx.Work(costs_.xl_config_parse);
+  breakdown_.config = env_.engine->now() - t0;
+
+  // --- Toolstack state keeping ---------------------------------------------------
+  t0 = env_.engine->now();
+  co_await ctx.Work(costs_.xl_state_keeping);
+  auto domains = co_await env_.hv->ListDomains(ctx);
+  if (!domains.ok()) {
+    co_return domains.error();
+  }
+  // libxl scans its own records per existing domain (name collisions,
+  // /var/lib/xl state).
+  co_await ctx.Work(costs_.xl_per_domain_overhead *
+                    static_cast<double>(domains->size()));
+  breakdown_.toolstack = env_.engine->now() - t0;
+
+  // --- Hypervisor reservation ---------------------------------------------------
+  t0 = env_.engine->now();
+  auto domid_r = co_await env_.hv->DomainCreate(ctx);
+  if (!domid_r.ok()) {
+    co_return domid_r.error();
+  }
+  hv::DomainId domid = *domid_r;
+  int core = env_.placer->NextGuestCore();
+  (void)co_await env_.hv->DomainSetMaxMem(ctx, domid, config.image.memory);
+  (void)co_await env_.hv->VcpuInit(ctx, domid, std::vector<int>(config.vcpus, core));
+  lv::Status mem = co_await env_.hv->PopulatePhysmap(ctx, domid, config.image.memory);
+  if (!mem.ok()) {
+    (void)co_await env_.hv->DomainDestroy(ctx, domid);
+    co_return mem.error();
+  }
+  breakdown_.hypervisor = env_.engine->now() - t0;
+
+  // --- XenStore records ------------------------------------------------------------
+  t0 = env_.engine->now();
+  lv::Status records = co_await WriteGuestRecords(ctx, domid, config);
+  breakdown_.xenstore = env_.engine->now() - t0;
+  if (!records.ok()) {
+    (void)co_await env_.hv->DomainDestroy(ctx, domid);
+    co_return records.error();
+  }
+
+  // --- Devices ----------------------------------------------------------------------
+  t0 = env_.engine->now();
+  co_await ctx.Work(costs_.misc_device_setup);
+  if (config.image.wants_net && env_.netback != nullptr) {
+    lv::Status s = co_await env_.netback->XsToolstackCreate(ctx, client_.get(), domid,
+                                                            env_.bash_hotplug);
+    if (!s.ok()) {
+      co_return s.error();
+    }
+  }
+  if (config.image.wants_block && env_.blkback != nullptr) {
+    lv::Status s = co_await env_.blkback->XsToolstackCreate(ctx, client_.get(), domid,
+                                                            env_.bash_hotplug);
+    if (!s.ok()) {
+      co_return s.error();
+    }
+  }
+  breakdown_.devices = env_.engine->now() - t0;
+
+  // --- Image build --------------------------------------------------------------------
+  t0 = env_.engine->now();
+  int64_t image_pages = lv::PagesFor(config.image.kernel_size);
+  co_await ctx.Work(costs_.image_parse_per_page * static_cast<double>(image_pages));
+  (void)co_await env_.hv->CopyToDomain(ctx, domid, config.image.kernel_size);
+  breakdown_.load = env_.engine->now() - t0;
+
+  // --- Boot -------------------------------------------------------------------------
+  VmRecord record;
+  record.config = config;
+  record.core = core;
+  record.created_at = env_.engine->now();
+  record.guest = std::make_unique<guests::Guest>(env_.engine, config.image, domid,
+                                                 MakeBootEnv(core, /*use_store=*/true));
+  env_.hv->FindDomain(domid)->set_start_fn(record.guest->MakeStartFn());
+  TrackVm(domid, std::move(record));
+  (void)co_await env_.hv->DomainFinishBuild(ctx, domid);
+  (void)co_await env_.hv->DomainUnpause(ctx, domid);
+  LV_DEBUG(kMod, "created dom%lld (%s)", (long long)domid, config.name.c_str());
+  co_return domid;
+}
+
+sim::Co<lv::Status> XlToolstack::Destroy(sim::ExecCtx ctx, hv::DomainId domid) {
+  auto it = vms_.find(domid);
+  if (it == vms_.end()) {
+    co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");
+  }
+  co_await ctx.Work(costs_.xl_state_keeping);
+  it->second.guest->Stop();
+  if (it->second.config.image.wants_net && env_.netback != nullptr &&
+      env_.netback->HasDevice(domid)) {
+    (void)co_await env_.netback->XsToolstackDestroy(ctx, client_.get(), domid,
+                                                    env_.bash_hotplug);
+  }
+  if (it->second.config.image.wants_block && env_.blkback != nullptr &&
+      env_.blkback->HasDevice(domid)) {
+    (void)co_await env_.blkback->XsToolstackDestroy(ctx, client_.get(), domid,
+                                                    env_.bash_hotplug);
+  }
+  (void)co_await RemoveGuestRecords(ctx, domid);
+  lv::Status destroyed = co_await env_.hv->DomainDestroy(ctx, domid);
+  UntrackVm(domid);
+  co_return destroyed;
+}
+
+sim::Co<lv::Result<Snapshot>> XlToolstack::Save(sim::ExecCtx ctx, hv::DomainId domid) {
+  auto it = vms_.find(domid);
+  if (it == vms_.end()) {
+    co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");
+  }
+  VmConfig config = it->second.config;
+  co_await ctx.Work(costs_.xl_state_keeping);
+  // Ask the guest to suspend through the store's control node.
+  std::string control =
+      lv::StrFormat("/local/domain/%lld/control/shutdown", (long long)domid);
+  lv::Status req = co_await client_->Write(ctx, control, "suspend");
+  if (!req.ok()) {
+    co_return req.error();
+  }
+  lv::Status suspended = co_await WaitForState(ctx, domid, hv::DomainState::kSuspended);
+  if (!suspended.ok()) {
+    co_return suspended.error();
+  }
+  // libxc streams the guest memory to the save file.
+  co_await ctx.Work(costs_.snapshot_file_overhead);
+  (void)co_await env_.hv->CopyFromDomain(ctx, domid, config.image.memory);
+  // Tear down devices and records, then the domain.
+  if (config.image.wants_net && env_.netback != nullptr && env_.netback->HasDevice(domid)) {
+    (void)co_await env_.netback->XsToolstackDestroy(ctx, client_.get(), domid,
+                                                    env_.bash_hotplug);
+  }
+  if (config.image.wants_block && env_.blkback != nullptr &&
+      env_.blkback->HasDevice(domid)) {
+    (void)co_await env_.blkback->XsToolstackDestroy(ctx, client_.get(), domid,
+                                                    env_.bash_hotplug);
+  }
+  (void)co_await RemoveGuestRecords(ctx, domid);
+  (void)co_await env_.hv->DomainDestroy(ctx, domid);
+  UntrackVm(domid);
+  lv::Bytes memory = config.image.memory;
+  co_return Snapshot{std::move(config), memory};
+}
+
+sim::Co<lv::Result<hv::DomainId>> XlToolstack::PrepareIncoming(sim::ExecCtx ctx,
+                                                               VmConfig config) {
+  co_await ctx.Work(costs_.xl_config_parse + costs_.xl_state_keeping);
+  auto domid_r = co_await env_.hv->DomainCreate(ctx);
+  if (!domid_r.ok()) {
+    co_return domid_r.error();
+  }
+  hv::DomainId domid = *domid_r;
+  int core = env_.placer->NextGuestCore();
+  (void)co_await env_.hv->DomainSetMaxMem(ctx, domid, config.image.memory);
+  (void)co_await env_.hv->VcpuInit(ctx, domid, std::vector<int>(config.vcpus, core));
+  lv::Status mem = co_await env_.hv->PopulatePhysmap(ctx, domid, config.image.memory);
+  if (!mem.ok()) {
+    (void)co_await env_.hv->DomainDestroy(ctx, domid);
+    co_return mem.error();
+  }
+  lv::Status records = co_await WriteGuestRecords(ctx, domid, config);
+  if (!records.ok()) {
+    (void)co_await env_.hv->DomainDestroy(ctx, domid);
+    co_return records.error();
+  }
+  if (config.image.wants_net && env_.netback != nullptr) {
+    (void)co_await env_.netback->XsToolstackCreate(ctx, client_.get(), domid,
+                                                   env_.bash_hotplug);
+  }
+  if (config.image.wants_block && env_.blkback != nullptr) {
+    (void)co_await env_.blkback->XsToolstackCreate(ctx, client_.get(), domid,
+                                                   env_.bash_hotplug);
+  }
+  pending_incoming_.emplace(domid, PendingIncoming{std::move(config), core});
+  co_return domid;
+}
+
+sim::Co<lv::Status> XlToolstack::FinishIncoming(sim::ExecCtx ctx, hv::DomainId domid,
+                                                const Snapshot& snap) {
+  auto it = pending_incoming_.find(domid);
+  if (it == pending_incoming_.end()) {
+    co_return lv::Err(lv::ErrorCode::kNotFound, "no pending incoming domain");
+  }
+  PendingIncoming pending = std::move(it->second);
+  pending_incoming_.erase(it);
+  // Stream the memory image back in.
+  co_await ctx.Work(costs_.snapshot_file_overhead);
+  (void)co_await env_.hv->CopyToDomain(ctx, domid, snap.memory);
+
+  VmRecord record;
+  record.config = pending.config;
+  record.core = pending.core;
+  record.created_at = env_.engine->now();
+  record.guest =
+      std::make_unique<guests::Guest>(env_.engine, pending.config.image, domid,
+                                      MakeBootEnv(pending.core, /*use_store=*/true));
+  record.guest->set_resume(true);
+  env_.hv->FindDomain(domid)->set_start_fn(record.guest->MakeStartFn());
+  TrackVm(domid, std::move(record));
+  (void)co_await env_.hv->DomainFinishBuild(ctx, domid);
+  (void)co_await env_.hv->DomainUnpause(ctx, domid);
+  co_return lv::Status::Ok();
+}
+
+sim::Co<lv::Result<hv::DomainId>> XlToolstack::Restore(sim::ExecCtx ctx, Snapshot snap) {
+  auto domid = co_await PrepareIncoming(ctx, snap.config);
+  if (!domid.ok()) {
+    co_return domid;
+  }
+  lv::Status finished = co_await FinishIncoming(ctx, *domid, snap);
+  if (!finished.ok()) {
+    co_return finished.error();
+  }
+  co_return *domid;
+}
+
+sim::Co<lv::Status> XlToolstack::SuspendForMigration(sim::ExecCtx ctx, hv::DomainId domid) {
+  std::string control =
+      lv::StrFormat("/local/domain/%lld/control/shutdown", (long long)domid);
+  lv::Status req = co_await client_->Write(ctx, control, "suspend");
+  if (!req.ok()) {
+    co_return req;
+  }
+  co_return co_await WaitForState(ctx, domid, hv::DomainState::kSuspended);
+}
+
+sim::Co<lv::Status> XlToolstack::TeardownAfterMigration(sim::ExecCtx ctx,
+                                                        hv::DomainId domid) {
+  auto it = vms_.find(domid);
+  if (it == vms_.end()) {
+    co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");
+  }
+  VmConfig config = it->second.config;
+  if (config.image.wants_net && env_.netback != nullptr && env_.netback->HasDevice(domid)) {
+    (void)co_await env_.netback->XsToolstackDestroy(ctx, client_.get(), domid,
+                                                    env_.bash_hotplug);
+  }
+  if (config.image.wants_block && env_.blkback != nullptr &&
+      env_.blkback->HasDevice(domid)) {
+    (void)co_await env_.blkback->XsToolstackDestroy(ctx, client_.get(), domid,
+                                                    env_.bash_hotplug);
+  }
+  (void)co_await RemoveGuestRecords(ctx, domid);
+  lv::Status destroyed = co_await env_.hv->DomainDestroy(ctx, domid);
+  UntrackVm(domid);
+  co_return destroyed;
+}
+
+}  // namespace toolstack

@@ -1,0 +1,370 @@
+#include "src/xenstore/daemon.h"
+
+#include <cstdlib>
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace xs {
+
+namespace {
+constexpr const char* kMod = "xenstored";
+}  // namespace
+
+Daemon::Daemon(sim::Engine* engine, Costs costs)
+    : engine_(engine), costs_(costs), queue_(engine) {}
+
+void Daemon::Start(sim::ExecCtx daemon_ctx) {
+  LV_CHECK_MSG(!running_, "daemon already running");
+  running_ = true;
+  engine_->Spawn(Run(daemon_ctx));
+}
+
+void Daemon::Stop() {
+  Request req;
+  req.op = OpType::kStop;
+  Submit(std::move(req));
+}
+
+ClientId Daemon::RegisterClient(hv::DomainId domid, sim::Channel<WatchEvent>* events) {
+  (void)domid;
+  ClientId id = next_client_++;
+  clients_.emplace(id, events);
+  return id;
+}
+
+void Daemon::UnregisterClient(ClientId id) {
+  clients_.erase(id);
+  store_.RemoveClientWatches(id);
+}
+
+sim::Co<void> Daemon::Run(sim::ExecCtx ctx) {
+  while (true) {
+    Request req = co_await queue_.Recv();
+    if (req.op == OpType::kStop) {
+      break;
+    }
+    co_await Process(ctx, std::move(req));
+  }
+  running_ = false;
+}
+
+sim::Co<void> Daemon::ChargeEffort(sim::ExecCtx ctx) {
+  const OpEffort& e = store_.last_effort();
+  lv::Duration cost = costs_.per_node * static_cast<double>(e.nodes_visited) +
+                      costs_.per_watch_check * static_cast<double>(e.watch_checks) +
+                      costs_.per_name_check * static_cast<double>(e.names_compared) +
+                      costs_.per_child * static_cast<double>(e.children_listed) +
+                      costs_.per_byte * static_cast<double>(e.value_bytes);
+  if (cost.ns() > 0) {
+    co_await ctx.Work(cost);
+  }
+}
+
+sim::Co<void> Daemon::AppendAccessLog(sim::ExecCtx ctx) {
+  if (!costs_.logging_enabled) {
+    co_return;
+  }
+  co_await ctx.Work(costs_.log_append);
+  ++log_lines_;
+  if (log_lines_ >= costs_.log_rotate_lines) {
+    log_lines_ = 0;
+    ++stats_.rotations;
+    LV_DEBUG(kMod, "rotating %d access logs", costs_.log_files);
+    co_await ctx.Work(costs_.log_rotate_per_file * static_cast<double>(costs_.log_files));
+  }
+}
+
+void Daemon::DeliverWatchHits(const std::vector<WatchHit>& hits) {
+  for (const WatchHit& hit : hits) {
+    auto it = clients_.find(hit.client);
+    if (it == clients_.end()) {
+      continue;  // Watcher died; drop the event like real xenstored.
+    }
+    ++stats_.watch_events;
+    it->second->Send(WatchEvent{hit.watch_path, hit.token, hit.fired_path});
+  }
+}
+
+sim::Co<void> Daemon::Process(sim::ExecCtx ctx, Request req) {
+  ++stats_.ops;
+  // Request arrival: daemon-side interrupts + base processing.
+  co_await ctx.Work(costs_.soft_interrupt * static_cast<double>(costs_.daemon_interrupts) +
+                    costs_.daemon_base);
+  co_await AppendAccessLog(ctx);
+
+  Response resp;
+  std::vector<WatchHit> hits;
+  switch (req.op) {
+    case OpType::kRead: {
+      auto r = store_.Read(req.path, req.txn);
+      co_await ChargeEffort(ctx);
+      if (r.ok()) {
+        resp.value = *r;
+      } else {
+        resp.code = r.error().code;
+        resp.error_message = r.error().message;
+      }
+      break;
+    }
+    case OpType::kWrite:
+    case OpType::kMkdir: {
+      lv::Status s = store_.Write(req.path, req.value, req.domid, req.txn, &hits);
+      co_await ChargeEffort(ctx);
+      if (!s.ok()) {
+        resp.code = s.error().code;
+        resp.error_message = s.error().message;
+      }
+      break;
+    }
+    case OpType::kRm: {
+      lv::Status s = store_.Rm(req.path, req.txn, &hits, req.domid);
+      co_await ChargeEffort(ctx);
+      if (!s.ok()) {
+        resp.code = s.error().code;
+        resp.error_message = s.error().message;
+      }
+      break;
+    }
+    case OpType::kDirectory: {
+      auto r = store_.Directory(req.path, req.txn);
+      co_await ChargeEffort(ctx);
+      if (r.ok()) {
+        resp.entries = std::move(*r);
+      } else {
+        resp.code = r.error().code;
+        resp.error_message = r.error().message;
+      }
+      break;
+    }
+    case OpType::kWatch: {
+      WatchHit hit = store_.AddWatch(req.client, req.path, req.token);
+      co_await ChargeEffort(ctx);
+      hits.push_back(hit);  // Watches fire once immediately on registration.
+      break;
+    }
+    case OpType::kUnwatch: {
+      store_.RemoveWatch(req.client, req.path, req.token);
+      co_await ChargeEffort(ctx);
+      break;
+    }
+    case OpType::kTxBegin: {
+      co_await ctx.Work(costs_.txn_overhead);
+      TxnId id = store_.TxBegin();
+      resp.value = lv::StrFormat("%lld", (long long)id);
+      break;
+    }
+    case OpType::kTxCommit:
+    case OpType::kTxAbort: {
+      co_await ctx.Work(costs_.txn_overhead);
+      lv::Status s = store_.TxCommit(req.txn, req.op == OpType::kTxAbort, &hits);
+      co_await ChargeEffort(ctx);
+      if (!s.ok()) {
+        resp.code = s.error().code;
+        resp.error_message = s.error().message;
+        if (s.code() == lv::ErrorCode::kConflict) {
+          ++stats_.conflicts;
+        }
+      }
+      break;
+    }
+    case OpType::kWriteUniqueName: {
+      lv::Status unique = store_.CheckUniqueName(req.value);
+      co_await ChargeEffort(ctx);
+      if (!unique.ok()) {
+        resp.code = unique.error().code;
+        resp.error_message = unique.error().message;
+        break;
+      }
+      lv::Status s = store_.Write(req.path, req.value, req.domid, kNoTxn, &hits);
+      co_await ChargeEffort(ctx);
+      if (!s.ok()) {
+        resp.code = s.error().code;
+        resp.error_message = s.error().message;
+      }
+      break;
+    }
+    case OpType::kReleaseClient: {
+      store_.RemoveClientWatches(req.client);
+      co_await ChargeEffort(ctx);
+      break;
+    }
+    case OpType::kStop:
+      LV_UNREACHABLE();
+  }
+
+  // Deliver fired watches (one message + interrupt per event).
+  if (!hits.empty()) {
+    co_await ctx.Work(costs_.per_watch_fire * static_cast<double>(hits.size()));
+    DeliverWatchHits(hits);
+  }
+
+  if (req.reply != nullptr) {
+    req.reply->Set(std::move(resp));
+  }
+}
+
+// --- XsClient ----------------------------------------------------------------
+
+XsClient::XsClient(sim::Engine* engine, Daemon* daemon, hv::DomainId domid)
+    : engine_(engine), daemon_(daemon), domid_(domid), events_(engine) {
+  id_ = daemon_->RegisterClient(domid, &events_);
+}
+
+XsClient::~XsClient() { daemon_->UnregisterClient(id_); }
+
+sim::Co<Response> XsClient::Call(sim::ExecCtx ctx, Request req) {
+  const Costs& costs = daemon_->costs();
+  req.client = id_;
+  req.domid = domid_;
+  req.reply = std::make_shared<sim::SharedFuture<Response>>(engine_);
+  // Marshal + send interrupt on the caller's core.
+  co_await ctx.Work(costs.client_marshal + costs.soft_interrupt);
+  auto reply = req.reply;
+  daemon_->Submit(std::move(req));
+  Response resp = co_await reply->Get();
+  // Response-delivery interrupt(s) + unmarshal.
+  co_await ctx.Work(costs.soft_interrupt *
+                        static_cast<double>(costs.client_interrupts - 1) +
+                    costs.client_marshal);
+  co_return resp;
+}
+
+namespace {
+
+lv::Status ToStatus(const Response& resp) {
+  if (resp.ok()) {
+    return lv::Status::Ok();
+  }
+  return lv::Err(resp.code, resp.error_message);
+}
+
+}  // namespace
+
+sim::Co<lv::Result<std::string>> XsClient::Read(sim::ExecCtx ctx, const std::string& path,
+                                                TxnId txn) {
+  Request req;
+  req.op = OpType::kRead;
+  req.path = path;
+  req.txn = txn;
+  Response resp = co_await Call(ctx, std::move(req));
+  if (!resp.ok()) {
+    co_return lv::Err(resp.code, resp.error_message);
+  }
+  co_return resp.value;
+}
+
+sim::Co<lv::Status> XsClient::Write(sim::ExecCtx ctx, const std::string& path,
+                                    const std::string& value, TxnId txn) {
+  Request req;
+  req.op = OpType::kWrite;
+  req.path = path;
+  req.value = value;
+  req.txn = txn;
+  co_return ToStatus(co_await Call(ctx, std::move(req)));
+}
+
+sim::Co<lv::Status> XsClient::Mkdir(sim::ExecCtx ctx, const std::string& path, TxnId txn) {
+  Request req;
+  req.op = OpType::kMkdir;
+  req.path = path;
+  req.txn = txn;
+  co_return ToStatus(co_await Call(ctx, std::move(req)));
+}
+
+sim::Co<lv::Status> XsClient::Rm(sim::ExecCtx ctx, const std::string& path, TxnId txn) {
+  Request req;
+  req.op = OpType::kRm;
+  req.path = path;
+  req.txn = txn;
+  co_return ToStatus(co_await Call(ctx, std::move(req)));
+}
+
+sim::Co<lv::Result<std::vector<std::string>>> XsClient::Directory(sim::ExecCtx ctx,
+                                                                  const std::string& path,
+                                                                  TxnId txn) {
+  Request req;
+  req.op = OpType::kDirectory;
+  req.path = path;
+  req.txn = txn;
+  Response resp = co_await Call(ctx, std::move(req));
+  if (!resp.ok()) {
+    co_return lv::Err(resp.code, resp.error_message);
+  }
+  co_return std::move(resp.entries);
+}
+
+sim::Co<lv::Status> XsClient::Watch(sim::ExecCtx ctx, const std::string& path,
+                                    const std::string& token) {
+  Request req;
+  req.op = OpType::kWatch;
+  req.path = path;
+  req.token = token;
+  co_return ToStatus(co_await Call(ctx, std::move(req)));
+}
+
+sim::Co<lv::Status> XsClient::Unwatch(sim::ExecCtx ctx, const std::string& path,
+                                      const std::string& token) {
+  Request req;
+  req.op = OpType::kUnwatch;
+  req.path = path;
+  req.token = token;
+  co_return ToStatus(co_await Call(ctx, std::move(req)));
+}
+
+sim::Co<lv::Result<TxnId>> XsClient::TxBegin(sim::ExecCtx ctx) {
+  Request req;
+  req.op = OpType::kTxBegin;
+  Response resp = co_await Call(ctx, std::move(req));
+  if (!resp.ok()) {
+    co_return lv::Err(resp.code, resp.error_message);
+  }
+  co_return static_cast<TxnId>(std::atoll(resp.value.c_str()));
+}
+
+sim::Co<lv::Status> XsClient::TxCommit(sim::ExecCtx ctx, TxnId txn) {
+  Request req;
+  req.op = OpType::kTxCommit;
+  req.txn = txn;
+  co_return ToStatus(co_await Call(ctx, std::move(req)));
+}
+
+sim::Co<lv::Status> XsClient::TxAbort(sim::ExecCtx ctx, TxnId txn) {
+  Request req;
+  req.op = OpType::kTxAbort;
+  req.txn = txn;
+  co_return ToStatus(co_await Call(ctx, std::move(req)));
+}
+
+sim::Co<lv::Status> XsClient::WriteUniqueName(sim::ExecCtx ctx, hv::DomainId domid,
+                                              const std::string& name) {
+  Request req;
+  req.op = OpType::kWriteUniqueName;
+  req.path = lv::StrFormat("/local/domain/%lld/name", (long long)domid);
+  req.value = name;
+  co_return ToStatus(co_await Call(ctx, std::move(req)));
+}
+
+sim::Co<lv::Status> RunTransaction(sim::ExecCtx ctx, XsClient* client, int max_retries,
+                                   std::function<sim::Co<lv::Status>(TxnId)> body) {
+  lv::Status last = lv::Err(lv::ErrorCode::kConflict, "not attempted");
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    auto txn = co_await client->TxBegin(ctx);
+    if (!txn.ok()) {
+      co_return txn.error();
+    }
+    lv::Status body_status = co_await body(*txn);
+    if (!body_status.ok()) {
+      (void)co_await client->TxAbort(ctx, *txn);
+      co_return body_status;
+    }
+    last = co_await client->TxCommit(ctx, *txn);
+    if (last.ok() || last.code() != lv::ErrorCode::kConflict) {
+      co_return last;
+    }
+    // Conflict: pay the whole transaction again, like a real client.
+  }
+  co_return last;
+}
+
+}  // namespace xs

@@ -1,0 +1,277 @@
+#include "src/xenstore/store.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace xs {
+
+Store::Store() = default;
+
+std::string Store::Canon(const std::string& path) {
+  return lv::Join(lv::Split(path, '/'), '/');
+}
+
+bool Store::MayMutate(hv::DomainId domid, const std::string& canon) {
+  if (domid == hv::kDom0) {
+    return true;
+  }
+  std::string own = lv::StrFormat("local/domain/%lld", (long long)domid);
+  return canon == own || (canon.size() > own.size() && lv::HasPrefix(canon, own) &&
+                          canon[own.size()] == '/');
+}
+
+Store::Node* Store::Walk(const std::string& canon, bool create, hv::DomainId owner) {
+  Node* node = &root_;
+  if (canon.empty()) {
+    return node;
+  }
+  for (const std::string& seg : lv::Split(canon, '/')) {
+    ++effort_.nodes_visited;
+    auto it = node->children.find(seg);
+    if (it == node->children.end()) {
+      if (!create) {
+        return nullptr;
+      }
+      auto child = std::make_unique<Node>();
+      child->owner = owner;
+      it = node->children.emplace(seg, std::move(child)).first;
+    }
+    node = it->second.get();
+  }
+  return node;
+}
+
+void Store::BumpGen(const std::string& canon) {
+  path_gen_[canon] = ++gen_;
+  // Creating/removing an entry is also a modification of the parent
+  // directory for conflict purposes.
+  size_t slash = canon.rfind('/');
+  std::string parent = slash == std::string::npos ? std::string() : canon.substr(0, slash);
+  path_gen_[parent] = gen_;
+}
+
+uint64_t Store::PathGen(const std::string& canon) const {
+  auto it = path_gen_.find(canon);
+  return it == path_gen_.end() ? 0 : it->second;
+}
+
+void Store::MatchWatches(const std::string& canon, std::vector<WatchHit>* hits) {
+  // oxenstored checks the fired path against every registered watch.
+  for (const Watch& w : watches_) {
+    ++effort_.watch_checks;
+    bool match = canon == w.path || (canon.size() > w.path.size() &&
+                                     lv::HasPrefix(canon, w.path) &&
+                                     (w.path.empty() || canon[w.path.size()] == '/'));
+    if (match) {
+      ++effort_.watches_fired;
+      if (hits != nullptr) {
+        hits->push_back(WatchHit{w.client, w.path, w.token, canon});
+      }
+    }
+  }
+}
+
+lv::Result<std::string> Store::Read(const std::string& path, TxnId txn) {
+  effort_.Reset();
+  std::string canon = Canon(path);
+  if (txn != kNoTxn) {
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) {
+      return lv::Err(lv::ErrorCode::kInvalidArgument, "unknown transaction");
+    }
+    it->second.reads.push_back(canon);
+    // Read-your-writes within the transaction.
+    for (auto w = it->second.writes.rbegin(); w != it->second.writes.rend(); ++w) {
+      if (w->first == canon) {
+        if (!w->second.has_value()) {
+          return lv::Err(lv::ErrorCode::kNotFound, path);
+        }
+        effort_.value_bytes += static_cast<int64_t>(w->second->size());
+        return *w->second;
+      }
+    }
+  }
+  Node* node = Walk(canon, /*create=*/false, hv::kDom0);
+  if (node == nullptr) {
+    return lv::Err(lv::ErrorCode::kNotFound, path);
+  }
+  effort_.value_bytes += static_cast<int64_t>(node->value.size());
+  return node->value;
+}
+
+lv::Status Store::ApplyWrite(const std::string& canon, const std::optional<std::string>& value,
+                             hv::DomainId owner, std::vector<WatchHit>* hits) {
+  if (value.has_value()) {
+    Node* node = Walk(canon, /*create=*/true, owner);
+    node->value = *value;
+    effort_.value_bytes += static_cast<int64_t>(value->size());
+  } else {
+    // Removal.
+    size_t slash = canon.rfind('/');
+    std::string parent_path =
+        slash == std::string::npos ? std::string() : canon.substr(0, slash);
+    std::string leaf = slash == std::string::npos ? canon : canon.substr(slash + 1);
+    Node* parent = Walk(parent_path, /*create=*/false, owner);
+    if (parent == nullptr || parent->children.erase(leaf) == 0) {
+      return lv::Err(lv::ErrorCode::kNotFound, canon);
+    }
+  }
+  BumpGen(canon);
+  MatchWatches(canon, hits);
+  return lv::Status::Ok();
+}
+
+lv::Status Store::Write(const std::string& path, const std::string& value,
+                        hv::DomainId owner, TxnId txn, std::vector<WatchHit>* hits) {
+  effort_.Reset();
+  std::string canon = Canon(path);
+  if (!MayMutate(owner, canon)) {
+    return lv::Err(lv::ErrorCode::kPermissionDenied,
+                   lv::StrFormat("dom%lld may not write %s", (long long)owner,
+                                 path.c_str()));
+  }
+  if (txn != kNoTxn) {
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) {
+      return lv::Err(lv::ErrorCode::kInvalidArgument, "unknown transaction");
+    }
+    it->second.writes.emplace_back(canon, value);
+    effort_.value_bytes += static_cast<int64_t>(value.size());
+    return lv::Status::Ok();
+  }
+  return ApplyWrite(canon, value, owner, hits);
+}
+
+lv::Status Store::Rm(const std::string& path, TxnId txn, std::vector<WatchHit>* hits,
+                     hv::DomainId requester) {
+  effort_.Reset();
+  std::string canon = Canon(path);
+  if (!MayMutate(requester, canon)) {
+    return lv::Err(lv::ErrorCode::kPermissionDenied,
+                   lv::StrFormat("dom%lld may not remove %s", (long long)requester,
+                                 path.c_str()));
+  }
+  if (txn != kNoTxn) {
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) {
+      return lv::Err(lv::ErrorCode::kInvalidArgument, "unknown transaction");
+    }
+    it->second.writes.emplace_back(canon, std::nullopt);
+    return lv::Status::Ok();
+  }
+  return ApplyWrite(canon, std::nullopt, hv::kDom0, hits);
+}
+
+lv::Result<std::vector<std::string>> Store::Directory(const std::string& path, TxnId txn) {
+  effort_.Reset();
+  std::string canon = Canon(path);
+  if (txn != kNoTxn) {
+    auto it = txns_.find(txn);
+    if (it != txns_.end()) {
+      it->second.reads.push_back(canon);
+    }
+  }
+  Node* node = Walk(canon, /*create=*/false, hv::kDom0);
+  if (node == nullptr) {
+    return lv::Err(lv::ErrorCode::kNotFound, path);
+  }
+  std::vector<std::string> out;
+  out.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) {
+    ++effort_.children_listed;
+    out.push_back(name);
+  }
+  return out;
+}
+
+bool Store::Exists(const std::string& path) {
+  effort_.Reset();
+  return Walk(Canon(path), /*create=*/false, hv::kDom0) != nullptr;
+}
+
+TxnId Store::TxBegin() {
+  effort_.Reset();
+  TxnId id = next_txn_++;
+  Txn txn;
+  txn.start_gen = gen_;
+  txns_.emplace(id, std::move(txn));
+  return id;
+}
+
+lv::Status Store::TxCommit(TxnId txn, bool abort, std::vector<WatchHit>* hits) {
+  effort_.Reset();
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    return lv::Err(lv::ErrorCode::kInvalidArgument, "unknown transaction");
+  }
+  Txn t = std::move(it->second);
+  txns_.erase(it);
+  if (abort) {
+    return lv::Status::Ok();
+  }
+  // Conflict detection: anything we read or wrote that someone else touched
+  // since the transaction began forces a retry (EAGAIN in real Xen).
+  for (const std::string& p : t.reads) {
+    ++effort_.nodes_visited;
+    if (PathGen(p) > t.start_gen) {
+      return lv::Err(lv::ErrorCode::kConflict, "transaction conflict on " + p);
+    }
+  }
+  for (const auto& [p, v] : t.writes) {
+    ++effort_.nodes_visited;
+    if (PathGen(p) > t.start_gen) {
+      return lv::Err(lv::ErrorCode::kConflict, "transaction conflict on " + p);
+    }
+  }
+  for (const auto& [p, v] : t.writes) {
+    // Removal of a non-existent path inside a txn is tolerated (mirrors
+    // xenstore rm semantics when the whole subtree was created in-txn).
+    (void)ApplyWrite(p, v, t.owner, hits);
+  }
+  return lv::Status::Ok();
+}
+
+WatchHit Store::AddWatch(ClientId client, const std::string& path, const std::string& token) {
+  effort_.Reset();
+  std::string canon = Canon(path);
+  watches_.push_back(Watch{client, canon, token});
+  // XenStore fires a watch immediately upon registration.
+  return WatchHit{client, canon, token, canon};
+}
+
+void Store::RemoveWatch(ClientId client, const std::string& path, const std::string& token) {
+  effort_.Reset();
+  std::string canon = Canon(path);
+  watches_.erase(std::remove_if(watches_.begin(), watches_.end(),
+                                [&](const Watch& w) {
+                                  return w.client == client && w.path == canon &&
+                                         w.token == token;
+                                }),
+                 watches_.end());
+}
+
+void Store::RemoveClientWatches(ClientId client) {
+  effort_.Reset();
+  watches_.erase(std::remove_if(watches_.begin(), watches_.end(),
+                                [&](const Watch& w) { return w.client == client; }),
+                 watches_.end());
+}
+
+lv::Status Store::CheckUniqueName(const std::string& name) {
+  effort_.Reset();
+  Node* domains = Walk("local/domain", /*create=*/false, hv::kDom0);
+  if (domains == nullptr) {
+    return lv::Status::Ok();
+  }
+  for (const auto& [id, node] : domains->children) {
+    ++effort_.names_compared;
+    auto it = node->children.find("name");
+    if (it != node->children.end() && it->second->value == name) {
+      return lv::Err(lv::ErrorCode::kAlreadyExists, "guest name in use: " + name);
+    }
+  }
+  return lv::Status::Ok();
+}
+
+}  // namespace xs

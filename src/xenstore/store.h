@@ -1,0 +1,152 @@
+// The XenStore data model: a hierarchical key-value tree with per-node
+// ownership, optimistic transactions, and prefix watches.
+//
+// This class is pure data structure — no simulated time. Every operation
+// reports effort counters (nodes visited, watches checked, names compared,
+// children listed) which the Daemon translates into simulated CPU cost. The
+// O(#watches) match scan, the O(#domains) unique-name check and the
+// O(#children) directory listing are the mechanisms behind the paper's
+// superlinear VM-creation times (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/hv/types.h"
+
+namespace xs {
+
+using ClientId = int64_t;
+using TxnId = int64_t;
+inline constexpr TxnId kNoTxn = 0;
+
+// Effort counters accumulated by each store operation.
+struct OpEffort {
+  int64_t nodes_visited = 0;
+  int64_t watch_checks = 0;
+  int64_t watches_fired = 0;
+  int64_t children_listed = 0;
+  int64_t names_compared = 0;
+  int64_t value_bytes = 0;
+
+  void Reset() { *this = OpEffort{}; }
+};
+
+// A watch registration hit produced by a mutation.
+struct WatchHit {
+  ClientId client = 0;
+  std::string watch_path;  // the registered prefix
+  std::string token;
+  std::string fired_path;  // the path that was modified
+};
+
+class Store {
+ public:
+  Store();
+
+  // Effort counters for the most recent operation.
+  const OpEffort& last_effort() const { return effort_; }
+
+  // --- Core operations (txn == kNoTxn applies directly) ---------------------
+
+  // Reads a node's value.
+  lv::Result<std::string> Read(const std::string& path, TxnId txn = kNoTxn);
+
+  // Writes a value, creating the node and any missing ancestors (XenStore
+  // semantics). Mutations outside transactions fire watches immediately; the
+  // hits are appended to `hits` if non-null.
+  //
+  // Permission model (as enforced by real xenstored's node ACLs): Dom0 may
+  // mutate anywhere; a guest may only mutate inside its own
+  // /local/domain/<domid> subtree. Reads are unrestricted (the default
+  // world-readable ACL).
+  lv::Status Write(const std::string& path, const std::string& value, hv::DomainId owner,
+                   TxnId txn = kNoTxn, std::vector<WatchHit>* hits = nullptr);
+
+  // Removes a node and its subtree.
+  lv::Status Rm(const std::string& path, TxnId txn = kNoTxn,
+                std::vector<WatchHit>* hits = nullptr,
+                hv::DomainId requester = hv::kDom0);
+
+  // Lists a node's children (costs O(#children), like XS_DIRECTORY).
+  lv::Result<std::vector<std::string>> Directory(const std::string& path,
+                                                 TxnId txn = kNoTxn);
+
+  bool Exists(const std::string& path);
+
+  // --- Transactions ----------------------------------------------------------
+  // Optimistic concurrency mirroring oxenstored: reads/writes are tracked;
+  // commit fails with CONFLICT if any touched path was modified by someone
+  // else since the transaction began, and the client must retry.
+
+  TxnId TxBegin();
+  // abort=true discards. On success, buffered writes are applied atomically
+  // and their watch hits appended to `hits`.
+  lv::Status TxCommit(TxnId txn, bool abort, std::vector<WatchHit>* hits);
+  int64_t open_txns() const { return static_cast<int64_t>(txns_.size()); }
+
+  // --- Watches ---------------------------------------------------------------
+
+  // Registers a prefix watch. Per XenStore semantics the watch also fires
+  // immediately upon registration; the synthetic hit is returned.
+  WatchHit AddWatch(ClientId client, const std::string& path, const std::string& token);
+  void RemoveWatch(ClientId client, const std::string& path, const std::string& token);
+  void RemoveClientWatches(ClientId client);
+  int64_t num_watches() const { return static_cast<int64_t>(watches_.size()); }
+
+  // --- Domain-name uniqueness (paper §4.2) -----------------------------------
+  // Scans every registered guest name under /local/domain/*/name and compares
+  // against `name`; O(#domains). Returns ALREADY_EXISTS on duplicate.
+  lv::Status CheckUniqueName(const std::string& name);
+
+  uint64_t generation() const { return gen_; }
+
+ private:
+  struct Node {
+    std::string value;
+    hv::DomainId owner = hv::kDom0;
+    std::map<std::string, std::unique_ptr<Node>> children;
+  };
+
+  struct Txn {
+    uint64_t start_gen = 0;
+    // Buffered mutations in order; nullopt value = removal.
+    std::vector<std::pair<std::string, std::optional<std::string>>> writes;
+    std::vector<std::string> reads;
+    hv::DomainId owner = hv::kDom0;
+  };
+
+  struct Watch {
+    ClientId client = 0;
+    std::string path;
+    std::string token;
+  };
+
+  // Canonicalizes a path ("/a//b/" -> "a/b" as joined segments).
+  static std::string Canon(const std::string& path);
+  // May `domid` mutate `canon`?
+  static bool MayMutate(hv::DomainId domid, const std::string& canon);
+  Node* Walk(const std::string& canon, bool create, hv::DomainId owner);
+  void BumpGen(const std::string& canon);
+  uint64_t PathGen(const std::string& canon) const;
+  // Scans all watches for matches against a mutated path (O(#watches)).
+  void MatchWatches(const std::string& canon, std::vector<WatchHit>* hits);
+  lv::Status ApplyWrite(const std::string& canon, const std::optional<std::string>& value,
+                        hv::DomainId owner, std::vector<WatchHit>* hits);
+
+  Node root_;
+  uint64_t gen_ = 1;
+  std::unordered_map<std::string, uint64_t> path_gen_;
+  std::vector<Watch> watches_;
+  std::unordered_map<TxnId, Txn> txns_;
+  TxnId next_txn_ = 1;
+  OpEffort effort_;
+};
+
+}  // namespace xs

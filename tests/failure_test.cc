@@ -1,0 +1,129 @@
+// Failure-injection tests: resource exhaustion mid-create, bad inputs and
+// misuse of the lifecycle APIs must roll back cleanly — no leaked domains,
+// pages, grants or event channels.
+#include <gtest/gtest.h>
+
+#include "src/base/strings.h"
+#include "src/core/host.h"
+#include "src/sim/run.h"
+
+namespace lightvm {
+namespace {
+
+using lv::Bytes;
+using lv::Duration;
+
+toolstack::VmConfig Daytime(const std::string& name) {
+  toolstack::VmConfig config;
+  config.name = name;
+  config.image = guests::DaytimeUnikernel();
+  return config;
+}
+
+class FailureTest : public ::testing::TestWithParam<Mechanisms> {
+ public:
+  template <typename T>
+  T Run(sim::Co<T> co) {
+    return sim::RunToCompletion(engine_, std::move(co));
+  }
+  sim::Engine engine_;
+};
+
+TEST_P(FailureTest, OutOfMemoryCreateRollsBackCleanly) {
+  HostSpec spec = HostSpec::Xeon4Core();
+  spec.memory = Bytes::MiB(64);  // Fits ~17 daytime VMs.
+  spec.dom0_memory = Bytes::MiB(4);
+  Host host(&engine_, spec, GetParam());
+
+  int created = 0;
+  lv::Status last_error = lv::Status::Ok();
+  // Page sharing fits ~4x more VMs before the wall; 128 covers both cases.
+  for (int i = 0; i < 128; ++i) {
+    auto domid = Run(host.CreateVm(Daytime(lv::StrFormat("oom%d", i))));
+    if (!domid.ok()) {
+      last_error = lv::Err(domid.error().code, domid.error().message);
+      break;
+    }
+    ++created;
+  }
+  EXPECT_GT(created, 5);
+  EXPECT_LT(created, 128);
+  EXPECT_EQ(last_error.code(), lv::ErrorCode::kOutOfMemory);
+  // The failed create left no half-built domain behind: every tracked VM is
+  // live, and the domain count matches (no zombies accumulating memory).
+  EXPECT_EQ(host.num_vms(), created);
+  EXPECT_EQ(host.hv().NumDomainsInState(hv::DomainState::kDead), 0);
+
+  // Destroying one VM makes room for exactly one more.
+  guests::Guest* any = nullptr;
+  for (hv::DomainId id = 1; id < 100 && any == nullptr; ++id) {
+    any = host.guest(id);
+    if (any != nullptr) {
+      ASSERT_TRUE(Run(host.DestroyVm(id)).ok());
+    }
+  }
+  auto again = Run(host.CreateVm(Daytime("after-oom")));
+  EXPECT_TRUE(again.ok());
+}
+
+TEST_P(FailureTest, LifecycleMisuseReturnsErrorsNotCrashes) {
+  Host host(&engine_, HostSpec::Xeon4Core(), GetParam());
+  // Operations on unknown VMs.
+  EXPECT_EQ(Run(host.DestroyVm(999)).code(), lv::ErrorCode::kNotFound);
+  EXPECT_EQ(Run(host.SaveVm(999)).code(), lv::ErrorCode::kNotFound);
+
+  auto domid = Run(host.CreateAndBoot(Daytime("ok")));
+  ASSERT_TRUE(domid.ok());
+  // Double destroy.
+  ASSERT_TRUE(Run(host.DestroyVm(*domid)).ok());
+  EXPECT_EQ(Run(host.DestroyVm(*domid)).code(), lv::ErrorCode::kNotFound);
+  // Save after destroy.
+  EXPECT_EQ(Run(host.SaveVm(*domid)).code(), lv::ErrorCode::kNotFound);
+}
+
+TEST_P(FailureTest, MigrateUnknownVmFails) {
+  Host src(&engine_, HostSpec::Xeon4Core(), GetParam());
+  Host dst(&engine_, HostSpec::Xeon4Core(), GetParam());
+  xnet::Link link(&engine_, 10.0, Duration::MillisF(0.2));
+  EXPECT_EQ(Run(src.MigrateVm(12345, &dst, &link)).code(), lv::ErrorCode::kNotFound);
+  EXPECT_EQ(dst.num_vms(), 0);
+}
+
+TEST_P(FailureTest, ResourcesReturnToBaselineAfterChurn) {
+  Host host(&engine_, HostSpec::Xeon4Core(), GetParam());
+  lv::Bytes baseline = host.MemoryUsed();
+  int64_t channels = host.hv().event_channels().open_channels();
+  int64_t grants = host.hv().grant_table().active_grants();
+  for (int round = 0; round < 5; ++round) {
+    std::vector<hv::DomainId> ids;
+    for (int i = 0; i < 8; ++i) {
+      auto domid = Run(host.CreateAndBoot(Daytime(lv::StrFormat("c%d-%d", round, i))));
+      ASSERT_TRUE(domid.ok());
+      ids.push_back(*domid);
+    }
+    for (hv::DomainId id : ids) {
+      ASSERT_TRUE(Run(host.DestroyVm(id)).ok());
+    }
+  }
+  EXPECT_EQ(host.MemoryUsed(), baseline);
+  EXPECT_EQ(host.hv().event_channels().open_channels(), channels);
+  EXPECT_EQ(host.hv().grant_table().active_grants(), grants);
+  EXPECT_EQ(host.num_vms(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, FailureTest,
+                         ::testing::Values(Mechanisms::Xl(), Mechanisms::ChaosXs(),
+                                           Mechanisms::ChaosNoxs(), Mechanisms::LightVm(),
+                                           Mechanisms::LightVmShared()),
+                         [](const ::testing::TestParamInfo<Mechanisms>& info) {
+                           std::string name = info.param.label();
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace lightvm

@@ -1,0 +1,373 @@
+// Property-based tests (parameterized sweeps via TEST_P): randomized
+// operation sequences checked against reference models and conservation
+// invariants, across seeds and mechanism configurations.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/base/rng.h"
+#include "src/base/strings.h"
+#include "src/core/host.h"
+#include "src/sim/run.h"
+#include "src/tinyx/builder.h"
+
+namespace {
+
+using lv::Bytes;
+using lv::Duration;
+
+// --- Store vs. reference model ------------------------------------------------
+
+// Random write/rm/read/directory sequences applied to both the Store and a
+// plain std::map reference; every read and listing must agree, and every
+// mutation must fire exactly the watches whose prefix matches.
+class StoreModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StoreModelTest, RandomOpsAgreeWithReferenceModel) {
+  lv::Rng rng(static_cast<uint64_t>(GetParam()));
+  xs::Store store;
+  std::map<std::string, std::string> model;  // canon path -> value
+
+  // A fixed path universe keeps collisions frequent.
+  std::vector<std::string> paths;
+  for (int d = 1; d <= 6; ++d) {
+    for (int k = 0; k < 4; ++k) {
+      paths.push_back(lv::StrFormat("/local/domain/%d/slot/%d", d, k));
+    }
+  }
+  // Watches on a few prefixes.
+  struct WatchSpec {
+    std::string prefix;
+    std::string canon;
+  };
+  std::vector<WatchSpec> watches = {
+      {"/local/domain/1", "local/domain/1"},
+      {"/local/domain/2/slot", "local/domain/2/slot"},
+      {"/local", "local"},
+  };
+  for (size_t w = 0; w < watches.size(); ++w) {
+    store.AddWatch(static_cast<xs::ClientId>(w), watches[w].prefix, "t");
+  }
+
+  auto matches = [](const std::string& canon, const std::string& prefix) {
+    return canon == prefix ||
+           (canon.size() > prefix.size() && canon.compare(0, prefix.size(), prefix) == 0 &&
+            canon[prefix.size()] == '/');
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    const std::string& path =
+        paths[static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(paths.size()) - 1))];
+    std::string canon = path.substr(1);
+    int op = static_cast<int>(rng.Uniform(0, 3));
+    if (op == 0) {  // write
+      std::string value = lv::StrFormat("v%d", step);
+      std::vector<xs::WatchHit> hits;
+      ASSERT_TRUE(store.Write(path, value, hv::kDom0, xs::kNoTxn, &hits).ok());
+      model[canon] = value;
+      int64_t expected_hits = 0;
+      for (const WatchSpec& w : watches) {
+        if (matches(canon, w.canon)) {
+          ++expected_hits;
+        }
+      }
+      EXPECT_EQ(static_cast<int64_t>(hits.size()), expected_hits) << canon;
+    } else if (op == 1) {  // rm (leaf only, so the model stays in sync)
+      std::vector<xs::WatchHit> hits;
+      lv::Status s = store.Rm(path, xs::kNoTxn, &hits);
+      bool existed = model.erase(canon) > 0;
+      EXPECT_EQ(s.ok(), existed) << canon;
+    } else if (op == 2) {  // read
+      auto r = store.Read(path);
+      auto it = model.find(canon);
+      if (it == model.end()) {
+        // The node may exist as an intermediate directory with empty value.
+        if (r.ok()) {
+          EXPECT_TRUE(r->empty()) << canon;
+        }
+      } else {
+        ASSERT_TRUE(r.ok()) << canon;
+        EXPECT_EQ(*r, it->second);
+      }
+    } else {  // directory of a parent
+      std::string parent = path.substr(0, path.rfind('/'));
+      auto dir = store.Directory(parent);
+      if (dir.ok()) {
+        // Every model key under this parent must be listed.
+        std::set<std::string> listed(dir->begin(), dir->end());
+        std::string parent_canon = parent.substr(1);
+        for (const auto& [key, value] : model) {
+          if (key.size() > parent_canon.size() && key.compare(0, parent_canon.size(),
+                                                              parent_canon) == 0 &&
+              key[parent_canon.size()] == '/') {
+            std::string child = key.substr(parent_canon.size() + 1);
+            child = child.substr(0, child.find('/'));
+            EXPECT_TRUE(listed.contains(child)) << key;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreModelTest, ::testing::Range(1, 9));
+
+// --- Transaction atomicity -----------------------------------------------------
+
+class TxnPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TxnPropertyTest, ConflictingTransactionsNeverBothCommit) {
+  lv::Rng rng(static_cast<uint64_t>(GetParam()) * 77 + 5);
+  xs::Store store;
+  for (int round = 0; round < 100; ++round) {
+    std::string key = lv::StrFormat("/k/%d", (int)rng.Uniform(0, 5));
+    (void)store.Write(key, "base", hv::kDom0);
+    xs::TxnId t1 = store.TxBegin();
+    xs::TxnId t2 = store.TxBegin();
+    // Both transactions read-modify-write the same key.
+    (void)store.Read(key, t1);
+    (void)store.Read(key, t2);
+    (void)store.Write(key, lv::StrFormat("t1-%d", round), hv::kDom0, t1);
+    (void)store.Write(key, lv::StrFormat("t2-%d", round), hv::kDom0, t2);
+    bool first_is_t1 = rng.Chance(0.5);
+    std::vector<xs::WatchHit> hits;
+    lv::Status first = store.TxCommit(first_is_t1 ? t1 : t2, false, &hits);
+    lv::Status second = store.TxCommit(first_is_t1 ? t2 : t1, false, &hits);
+    EXPECT_TRUE(first.ok());
+    EXPECT_EQ(second.code(), lv::ErrorCode::kConflict);
+    // The surviving value is the first committer's.
+    EXPECT_EQ(*store.Read(key),
+              lv::StrFormat(first_is_t1 ? "t1-%d" : "t2-%d", round));
+  }
+  EXPECT_EQ(store.open_txns(), 0);
+}
+
+TEST_P(TxnPropertyTest, DisjointTransactionsAllCommit) {
+  lv::Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 1);
+  xs::Store store;
+  for (int round = 0; round < 50; ++round) {
+    int n = static_cast<int>(rng.Uniform(2, 6));
+    std::vector<xs::TxnId> txns;
+    for (int i = 0; i < n; ++i) {
+      txns.push_back(store.TxBegin());
+      (void)store.Write(lv::StrFormat("/r%d/t%d", round, i), "v", hv::kDom0, txns.back());
+    }
+    std::vector<xs::WatchHit> hits;
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(store.TxCommit(txns[static_cast<size_t>(i)], false, &hits).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxnPropertyTest, ::testing::Range(1, 6));
+
+// --- CPU scheduler conservation --------------------------------------------------
+
+struct CpuCase {
+  int cores;
+  int jobs;
+  int seed;
+};
+
+class CpuConservationTest : public ::testing::TestWithParam<CpuCase> {};
+
+TEST_P(CpuConservationTest, ConsumedTimeEqualsSubmittedWork) {
+  const CpuCase& c = GetParam();
+  sim::Engine engine(static_cast<uint64_t>(c.seed));
+  sim::CpuScheduler cpu(&engine, c.cores);
+  lv::Rng rng(static_cast<uint64_t>(c.seed) * 13 + 7);
+
+  Duration total_work;
+  std::vector<Duration> per_owner(static_cast<size_t>(c.jobs));
+  for (int j = 0; j < c.jobs; ++j) {
+    Duration work = Duration::Micros(rng.Uniform(50, 5000));
+    Duration start_delay = Duration::Micros(rng.Uniform(0, 2000));
+    int core = static_cast<int>(rng.Uniform(0, c.cores - 1));
+    total_work += work;
+    per_owner[static_cast<size_t>(j)] = work;
+    engine.Schedule(start_delay, [&engine, &cpu, core, work, j] {
+      engine.Spawn([](sim::CpuScheduler& s, int core, Duration w, int owner) -> sim::Co<void> {
+        co_await s.Run(core, w, owner + 1);
+      }(cpu, core, work, j));
+    });
+  }
+  engine.Run();
+
+  // Conservation: every job's consumed time equals its submitted work, and
+  // per-core busy time sums to the total.
+  Duration consumed;
+  for (int j = 0; j < c.jobs; ++j) {
+    Duration got = cpu.ConsumedBy(j + 1);
+    EXPECT_NEAR(got.us(), per_owner[static_cast<size_t>(j)].us(), 1.0) << "owner " << j;
+    consumed += got;
+  }
+  Duration busy;
+  for (int core = 0; core < c.cores; ++core) {
+    busy += cpu.BusyTime(core);
+    EXPECT_LE(cpu.BusyTime(core).ns(), engine.now().ns());  // Never beyond wall.
+    EXPECT_EQ(cpu.ActiveJobs(core), 0);
+  }
+  EXPECT_NEAR(consumed.us(), total_work.us(), static_cast<double>(c.jobs));
+  EXPECT_NEAR(busy.us(), total_work.us(), static_cast<double>(c.jobs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CpuConservationTest,
+    ::testing::Values(CpuCase{1, 10, 1}, CpuCase{1, 100, 2}, CpuCase{4, 50, 3},
+                      CpuCase{4, 200, 4}, CpuCase{16, 300, 5}, CpuCase{64, 500, 6}));
+
+// --- VM lifecycle invariants across all mechanisms --------------------------------
+
+struct LifecycleCase {
+  lightvm::Mechanisms mechanisms;
+  int seed;
+};
+
+class LifecyclePropertyTest : public ::testing::TestWithParam<LifecycleCase> {};
+
+TEST_P(LifecyclePropertyTest, RandomLifecycleConservesResources) {
+  const LifecycleCase& c = GetParam();
+  sim::Engine engine(static_cast<uint64_t>(c.seed));
+  lightvm::Host host(&engine, lightvm::HostSpec::Xeon4Core(), c.mechanisms);
+  if (c.mechanisms.split) {
+    host.AddShellFlavor(guests::DaytimeUnikernel().memory, true, 4);
+    host.PrefillShellPool();
+  }
+  lv::Rng rng(static_cast<uint64_t>(c.seed) * 7 + 3);
+
+  std::vector<hv::DomainId> running;
+  int created = 0;
+  for (int step = 0; step < 60; ++step) {
+    int op = static_cast<int>(rng.Uniform(0, 3));
+    if (op <= 1 || running.empty()) {  // create (biased)
+      toolstack::VmConfig config;
+      config.name = lv::StrFormat("p%d", created++);
+      config.image = guests::DaytimeUnikernel();
+      auto domid = sim::RunToCompletion(engine, host.CreateAndBoot(config));
+      ASSERT_TRUE(domid.ok()) << domid.error().message;
+      running.push_back(*domid);
+    } else if (op == 2) {  // destroy a random VM
+      size_t victim =
+          static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(running.size()) - 1));
+      ASSERT_TRUE(sim::RunToCompletion(engine, host.DestroyVm(running[victim])).ok());
+      running.erase(running.begin() + static_cast<long>(victim));
+    } else {  // save + restore a random VM
+      size_t victim =
+          static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(running.size()) - 1));
+      hv::DomainId domid = running[victim];
+      running.erase(running.begin() + static_cast<long>(victim));
+      auto snap = sim::RunToCompletion(engine, host.SaveVm(domid));
+      ASSERT_TRUE(snap.ok()) << snap.error().message;
+      auto restored = sim::RunToCompletion(engine, host.RestoreVm(*snap));
+      ASSERT_TRUE(restored.ok()) << restored.error().message;
+      running.push_back(*restored);
+    }
+
+    // Invariants after every step.
+    EXPECT_EQ(host.num_vms(), static_cast<int64_t>(running.size()));
+    // Memory: Dom0 + each live guest's reservation (+ pooled shells).
+    int64_t pool = host.chaos_daemon() ? host.chaos_daemon()->pool_size() : 0;
+    double expected_mib =
+        host.spec().dom0_memory.mib() +
+        static_cast<double>(static_cast<int64_t>(running.size())) *
+            guests::DaytimeUnikernel().memory.mib();
+    double measured_mib = host.MemoryUsed().mib();
+    // Shells mid-build may hold one extra reservation.
+    double slack = (static_cast<double>(pool) + 2.0) * guests::DaytimeUnikernel().memory.mib();
+    EXPECT_GE(measured_mib + 0.001, expected_mib) << "step " << step;
+    EXPECT_LE(measured_mib, expected_mib + slack) << "step " << step;
+  }
+
+  // Drain everything; the host must return to (near) baseline.
+  for (hv::DomainId domid : running) {
+    ASSERT_TRUE(sim::RunToCompletion(engine, host.DestroyVm(domid)).ok());
+  }
+  EXPECT_EQ(host.num_vms(), 0);
+  EXPECT_EQ(host.hv().NumDomainsInState(hv::DomainState::kRunning), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MechanismsBySeed, LifecyclePropertyTest,
+    ::testing::Values(LifecycleCase{lightvm::Mechanisms::Xl(), 1},
+                      LifecycleCase{lightvm::Mechanisms::Xl(), 2},
+                      LifecycleCase{lightvm::Mechanisms::ChaosXs(), 1},
+                      LifecycleCase{lightvm::Mechanisms::ChaosXs(), 2},
+                      LifecycleCase{lightvm::Mechanisms::ChaosXsSplit(), 1},
+                      LifecycleCase{lightvm::Mechanisms::ChaosNoxs(), 1},
+                      LifecycleCase{lightvm::Mechanisms::ChaosNoxs(), 2},
+                      LifecycleCase{lightvm::Mechanisms::LightVm(), 1},
+                      LifecycleCase{lightvm::Mechanisms::LightVm(), 2},
+                      LifecycleCase{lightvm::Mechanisms::LightVm(), 3}));
+
+// --- Tinyx build properties ----------------------------------------------------
+
+class TinyxPropertyTest
+    : public ::testing::TestWithParam<std::tuple<const char*, tinyx::Platform>> {};
+
+TEST_P(TinyxPropertyTest, EveryBuildIsBootableAndMinimal) {
+  const auto& [app, platform] = GetParam();
+  tinyx::TinyxBuilder builder(tinyx::PackageDb::DebianBase());
+  tinyx::BuildConfig config;
+  config.app = app;
+  config.platform = platform;
+  tinyx::KernelModel kernel;
+  config.kernel_options_to_test = kernel.DefaultOnOptions();
+  auto image = builder.Build(config);
+  ASSERT_TRUE(image.ok()) << image.error().message;
+
+  // The final configuration passes the boot test for this app.
+  EXPECT_TRUE(kernel.BootTest(image->kernel_options, app));
+  // The app itself and busybox are present; nothing blacklisted leaked in.
+  EXPECT_TRUE(std::find(image->packages.begin(), image->packages.end(), app) !=
+              image->packages.end());
+  for (const std::string& bad : image->blacklisted) {
+    EXPECT_TRUE(std::find(image->packages.begin(), image->packages.end(), bad) ==
+                image->packages.end());
+  }
+  // Minimality: disabling any surviving tested option would break the app —
+  // re-check each one.
+  for (const std::string& opt : config.kernel_options_to_test) {
+    if (!image->kernel_options.contains(opt)) {
+      continue;  // Already disabled by the loop.
+    }
+    std::set<std::string> without = image->kernel_options;
+    without.erase(opt);
+    EXPECT_FALSE(kernel.BootTest(without, app))
+        << opt << " survived trimming but is not actually needed by " << app;
+  }
+  // Far below a general-purpose distribution.
+  EXPECT_LT(image->image_size.mib(), 64.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsByPlatform, TinyxPropertyTest,
+    ::testing::Combine(::testing::Values("nginx", "micropython", "tls-proxy"),
+                       ::testing::Values(tinyx::Platform::kXen, tinyx::Platform::kKvm)));
+
+// --- Store permissions -----------------------------------------------------------
+
+class StorePermissionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StorePermissionTest, GuestsCannotEscapeTheirSubtree) {
+  hv::DomainId domid = GetParam();
+  xs::Store store;
+  std::string own = lv::StrFormat("/local/domain/%lld/data", (long long)domid);
+  std::string other = lv::StrFormat("/local/domain/%lld/data", (long long)(domid + 1));
+  EXPECT_TRUE(store.Write(own, "mine", domid).ok());
+  EXPECT_EQ(store.Write(other, "attack", domid).code(), lv::ErrorCode::kPermissionDenied);
+  EXPECT_EQ(store.Write("/local/domain/0/backend/vif", "attack", domid).code(),
+            lv::ErrorCode::kPermissionDenied);
+  EXPECT_EQ(store.Write("/tool/global", "attack", domid).code(),
+            lv::ErrorCode::kPermissionDenied);
+  // Dom0 can write anywhere, including the guest's tree.
+  EXPECT_TRUE(store.Write(other, "legit", hv::kDom0).ok());
+  // The guest can remove its own node but not the neighbor's.
+  EXPECT_TRUE(store.Rm(own, xs::kNoTxn, nullptr, domid).ok());
+  EXPECT_EQ(store.Rm(other, xs::kNoTxn, nullptr, domid).code(),
+            lv::ErrorCode::kPermissionDenied);
+}
+
+INSTANTIATE_TEST_SUITE_P(DomainIds, StorePermissionTest, ::testing::Values(1, 7, 42, 999));
+
+}  // namespace

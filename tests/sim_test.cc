@@ -1,0 +1,386 @@
+// Unit tests for the DES engine, coroutine tasks, sync primitives and the
+// processor-sharing CPU scheduler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/cpu.h"
+#include "src/sim/engine.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace sim {
+namespace {
+
+using lv::Duration;
+using lv::TimePoint;
+
+TEST(EngineTest, EventsRunInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.Schedule(Duration::Millis(30), [&] { order.push_back(3); });
+  engine.Schedule(Duration::Millis(10), [&] { order.push_back(1); });
+  engine.Schedule(Duration::Millis(20), [&] { order.push_back(2); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now().ms(), 30.0);
+}
+
+TEST(EngineTest, SameTimeEventsRunFifo) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.Schedule(Duration::Millis(1), [&order, i] { order.push_back(i); });
+  }
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EngineTest, CancelledEventDoesNotRun) {
+  Engine engine;
+  bool ran = false;
+  EventHandle h = engine.Schedule(Duration::Millis(5), [&] { ran = true; });
+  h.Cancel();
+  engine.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EngineTest, RunUntilStopsAtHorizon) {
+  Engine engine;
+  int count = 0;
+  engine.Schedule(Duration::Millis(5), [&] { ++count; });
+  engine.Schedule(Duration::Millis(15), [&] { ++count; });
+  engine.RunUntil(TimePoint() + Duration::Millis(10));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(engine.now().ms(), 10.0);
+  engine.Run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EngineTest, NestedScheduling) {
+  Engine engine;
+  std::vector<double> times;
+  engine.Schedule(Duration::Millis(1), [&] {
+    times.push_back(engine.now().ms());
+    engine.Schedule(Duration::Millis(2), [&] { times.push_back(engine.now().ms()); });
+  });
+  engine.Run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0}));
+}
+
+Co<int> Add(Engine& engine, int a, int b) {
+  co_await engine.Sleep(Duration::Millis(1));
+  co_return a + b;
+}
+
+Co<int> Chain(Engine& engine) {
+  int x = co_await Add(engine, 1, 2);
+  int y = co_await Add(engine, x, 10);
+  co_return y;
+}
+
+TEST(CoTest, NestedAwaitsPropagateValues) {
+  Engine engine;
+  int result = 0;
+  engine.Spawn([](Engine& e, int& out) -> Co<void> {
+    out = co_await Chain(e);
+  }(engine, result));
+  engine.Run();
+  EXPECT_EQ(result, 13);
+  EXPECT_EQ(engine.now().ms(), 2.0);
+}
+
+TEST(CoTest, SpawnRunsUntilFirstSuspension) {
+  Engine engine;
+  bool before = false;
+  bool after = false;
+  engine.Spawn([](Engine& e, bool& b, bool& a) -> Co<void> {
+    b = true;
+    co_await e.Sleep(Duration::Millis(1));
+    a = true;
+  }(engine, before, after));
+  EXPECT_TRUE(before);
+  EXPECT_FALSE(after);
+  engine.Run();
+  EXPECT_TRUE(after);
+}
+
+TEST(CoTest, ExceptionPropagatesToAwaiter) {
+  Engine engine;
+  bool caught = false;
+  engine.Spawn([](Engine& e, bool& c) -> Co<void> {
+    auto thrower = [](Engine& en) -> Co<int> {
+      co_await en.Sleep(Duration::Millis(1));
+      throw std::runtime_error("boom");
+    };
+    try {
+      co_await thrower(e);
+    } catch (const std::runtime_error&) {
+      c = true;
+    }
+  }(engine, caught));
+  engine.Run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(CoTest, ManyConcurrentTasks) {
+  Engine engine;
+  int done = 0;
+  for (int i = 0; i < 1000; ++i) {
+    engine.Spawn([](Engine& e, int& d, int i) -> Co<void> {
+      co_await e.Sleep(Duration::Micros(i));
+      ++d;
+    }(engine, done, i));
+  }
+  engine.Run();
+  EXPECT_EQ(done, 1000);
+}
+
+TEST(OneShotEventTest, WaitersResumeOnTrigger) {
+  Engine engine;
+  OneShotEvent ev(&engine);
+  int resumed = 0;
+  for (int i = 0; i < 3; ++i) {
+    engine.Spawn([](OneShotEvent& e, int& r) -> Co<void> {
+      co_await e.Wait();
+      ++r;
+    }(ev, resumed));
+  }
+  engine.Run();
+  EXPECT_EQ(resumed, 0);
+  ev.Trigger();
+  engine.Run();
+  EXPECT_EQ(resumed, 3);
+}
+
+TEST(OneShotEventTest, WaitAfterTriggerIsImmediate) {
+  Engine engine;
+  OneShotEvent ev(&engine);
+  ev.Trigger();
+  bool done = false;
+  engine.Spawn([](OneShotEvent& e, bool& d) -> Co<void> {
+    co_await e.Wait();
+    d = true;
+  }(ev, done));
+  EXPECT_TRUE(done);  // No suspension needed.
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Engine engine;
+  Semaphore sem(&engine, 2);
+  int active = 0;
+  int max_active = 0;
+  for (int i = 0; i < 6; ++i) {
+    engine.Spawn([](Engine& e, Semaphore& s, int& act, int& mx) -> Co<void> {
+      co_await s.Acquire();
+      ++act;
+      mx = std::max(mx, act);
+      co_await e.Sleep(Duration::Millis(10));
+      --act;
+      s.Release();
+    }(engine, sem, active, max_active));
+  }
+  engine.Run();
+  EXPECT_EQ(active, 0);
+  EXPECT_EQ(max_active, 2);
+  EXPECT_EQ(engine.now().ms(), 30.0);  // 6 tasks, 2 at a time, 10ms each.
+}
+
+TEST(SemaphoreTest, TryAcquire) {
+  Engine engine;
+  Semaphore sem(&engine, 1);
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_FALSE(sem.TryAcquire());
+  sem.Release();
+  EXPECT_TRUE(sem.TryAcquire());
+}
+
+TEST(ChannelTest, SendThenRecv) {
+  Engine engine;
+  Channel<int> ch(&engine);
+  ch.Send(1);
+  ch.Send(2);
+  std::vector<int> got;
+  engine.Spawn([](Channel<int>& c, std::vector<int>& g) -> Co<void> {
+    g.push_back(co_await c.Recv());
+    g.push_back(co_await c.Recv());
+  }(ch, got));
+  engine.Run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(ChannelTest, RecvBlocksUntilSend) {
+  Engine engine;
+  Channel<int> ch(&engine);
+  int got = 0;
+  engine.Spawn([](Channel<int>& c, int& g) -> Co<void> { g = co_await c.Recv(); }(ch, got));
+  engine.Run();
+  EXPECT_EQ(got, 0);
+  ch.Send(7);
+  engine.Run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(ChannelTest, ManyProducersOneConsumer) {
+  Engine engine;
+  Channel<int> ch(&engine);
+  int sum = 0;
+  engine.Spawn([](Channel<int>& c, int& s) -> Co<void> {
+    for (int i = 0; i < 10; ++i) {
+      s += co_await c.Recv();
+    }
+  }(ch, sum));
+  for (int i = 1; i <= 10; ++i) {
+    engine.Schedule(Duration::Millis(i), [&ch, i] { ch.Send(i); });
+  }
+  engine.Run();
+  EXPECT_EQ(sum, 55);
+}
+
+TEST(SharedFutureTest, MultipleGetters) {
+  Engine engine;
+  SharedFuture<int> fut(&engine);
+  int sum = 0;
+  for (int i = 0; i < 3; ++i) {
+    engine.Spawn([](SharedFuture<int>& f, int& s) -> Co<void> {
+      s += co_await f.Get();
+    }(fut, sum));
+  }
+  engine.Run();
+  EXPECT_EQ(sum, 0);
+  fut.Set(5);
+  engine.Run();
+  EXPECT_EQ(sum, 15);
+  EXPECT_TRUE(fut.has_value());
+}
+
+// --- CPU scheduler -------------------------------------------------------
+
+Co<void> Burn(Engine& engine, CpuScheduler& cpu, int core, Duration work, TimePoint* done,
+              CpuOwner owner = kHostOwner) {
+  co_await cpu.Run(core, work, owner);
+  *done = engine.now();
+}
+
+TEST(CpuTest, SingleJobTakesItsWork) {
+  Engine engine;
+  CpuScheduler cpu(&engine, 1);
+  TimePoint done;
+  engine.Spawn(Burn(engine, cpu, 0, Duration::Millis(10), &done));
+  engine.Run();
+  EXPECT_EQ(done.ms(), 10.0);
+}
+
+TEST(CpuTest, TwoEqualJobsShareTheCore) {
+  Engine engine;
+  CpuScheduler cpu(&engine, 1);
+  TimePoint a;
+  TimePoint b;
+  engine.Spawn(Burn(engine, cpu, 0, Duration::Millis(10), &a));
+  engine.Spawn(Burn(engine, cpu, 0, Duration::Millis(10), &b));
+  engine.Run();
+  // Processor sharing: both finish at 20ms.
+  EXPECT_NEAR(a.ms(), 20.0, 1e-6);
+  EXPECT_NEAR(b.ms(), 20.0, 1e-6);
+}
+
+TEST(CpuTest, ShortJobDelaysLongJobByItsWork) {
+  Engine engine;
+  CpuScheduler cpu(&engine, 1);
+  TimePoint a;
+  TimePoint b;
+  engine.Spawn(Burn(engine, cpu, 0, Duration::Millis(100), &a));
+  engine.Schedule(Duration::Millis(10), [&] {
+    engine.Spawn(Burn(engine, cpu, 0, Duration::Millis(5), &b));
+  });
+  engine.Run();
+  // Short job arrives at 10ms with long job at 90ms remaining; it runs at
+  // rate 1/2 so completes at 20ms; long job finishes at 105ms total.
+  EXPECT_NEAR(b.ms(), 20.0, 1e-6);
+  EXPECT_NEAR(a.ms(), 105.0, 1e-6);
+}
+
+TEST(CpuTest, CoresAreIndependent) {
+  Engine engine;
+  CpuScheduler cpu(&engine, 2);
+  TimePoint a;
+  TimePoint b;
+  engine.Spawn(Burn(engine, cpu, 0, Duration::Millis(10), &a));
+  engine.Spawn(Burn(engine, cpu, 1, Duration::Millis(10), &b));
+  engine.Run();
+  EXPECT_NEAR(a.ms(), 10.0, 1e-6);
+  EXPECT_NEAR(b.ms(), 10.0, 1e-6);
+}
+
+TEST(CpuTest, ZeroWorkCompletesInline) {
+  Engine engine;
+  CpuScheduler cpu(&engine, 1);
+  bool done = false;
+  engine.Spawn([](CpuScheduler& c, bool& d) -> Co<void> {
+    co_await c.Run(0, Duration());
+    d = true;
+  }(cpu, done));
+  EXPECT_TRUE(done);
+}
+
+TEST(CpuTest, PerOwnerAccounting) {
+  Engine engine;
+  CpuScheduler cpu(&engine, 1);
+  TimePoint a;
+  TimePoint b;
+  engine.Spawn(Burn(engine, cpu, 0, Duration::Millis(10), &a, /*owner=*/1));
+  engine.Spawn(Burn(engine, cpu, 0, Duration::Millis(30), &b, /*owner=*/2));
+  engine.Run();
+  EXPECT_NEAR(cpu.ConsumedBy(1).ms(), 10.0, 0.01);
+  EXPECT_NEAR(cpu.ConsumedBy(2).ms(), 30.0, 0.01);
+  EXPECT_NEAR(cpu.BusyTime(0).ms(), 40.0, 0.01);
+}
+
+TEST(CpuTest, WindowUtilization) {
+  Engine engine;
+  CpuScheduler cpu(&engine, 2);
+  TimePoint done;
+  cpu.StartWindow();
+  engine.Spawn(Burn(engine, cpu, 0, Duration::Millis(10), &done));
+  engine.RunUntil(TimePoint() + Duration::Millis(20));
+  // One of two cores busy for 10 of 20 ms -> 25% machine-wide.
+  EXPECT_NEAR(cpu.WindowUtilization(), 0.25, 0.001);
+}
+
+TEST(CpuTest, ManyJobsFairness) {
+  Engine engine;
+  CpuScheduler cpu(&engine, 1);
+  std::vector<TimePoint> done(10);
+  for (int i = 0; i < 10; ++i) {
+    engine.Spawn(Burn(engine, cpu, 0, Duration::Millis(1), &done[static_cast<size_t>(i)]));
+  }
+  engine.Run();
+  for (const TimePoint& t : done) {
+    EXPECT_NEAR(t.ms(), 10.0, 1e-6);  // All equal jobs end together under PS.
+  }
+}
+
+TEST(CorePlacerTest, RoundRobinGuestCores) {
+  CorePlacer placer(4, 1);
+  EXPECT_EQ(placer.NextGuestCore(), 1);
+  EXPECT_EQ(placer.NextGuestCore(), 2);
+  EXPECT_EQ(placer.NextGuestCore(), 3);
+  EXPECT_EQ(placer.NextGuestCore(), 1);
+  EXPECT_EQ(placer.num_guest_cores(), 3);
+  EXPECT_EQ(placer.num_dom0_cores(), 1);
+  EXPECT_EQ(placer.NextDom0Core(), 0);
+  EXPECT_EQ(placer.NextDom0Core(), 0);
+}
+
+TEST(CorePlacerTest, MultipleDom0Cores) {
+  CorePlacer placer(64, 4);
+  EXPECT_EQ(placer.NextDom0Core(), 0);
+  EXPECT_EQ(placer.NextDom0Core(), 1);
+  EXPECT_EQ(placer.NextDom0Core(), 2);
+  EXPECT_EQ(placer.NextDom0Core(), 3);
+  EXPECT_EQ(placer.NextDom0Core(), 0);
+  EXPECT_EQ(placer.num_guest_cores(), 60);
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,74 @@
+// Tests for the xl.cfg-style configuration parser and the image registry.
+#include <gtest/gtest.h>
+
+#include "src/toolstack/config.h"
+
+namespace toolstack {
+namespace {
+
+TEST(ImageRegistryTest, AllPaperImagesResolve) {
+  for (const char* name :
+       {"daytime", "noop", "minipython", "clickos-fw", "tls-unikernel", "tinyx",
+        "tinyx-micropython", "tinyx-tls", "debian", "debian-micropython"}) {
+    auto image = ImageByName(name);
+    ASSERT_TRUE(image.ok()) << name;
+    EXPECT_EQ(image->name, name);
+  }
+  EXPECT_EQ(ImageByName("windows-95").code(), lv::ErrorCode::kNotFound);
+}
+
+TEST(ConfigParserTest, FullConfig) {
+  auto config = ParseVmConfig(R"(
+# a web frontend
+name   = "web0"
+kernel = "daytime"
+memory = 8
+vcpus  = 2
+vif    = [ "bridge=xenbr0" ]
+)");
+  ASSERT_TRUE(config.ok()) << config.error().message;
+  EXPECT_EQ(config->name, "web0");
+  EXPECT_EQ(config->image.name, "daytime");
+  EXPECT_EQ(config->image.memory, lv::Bytes::MiB(8));  // Override applied.
+  EXPECT_EQ(config->vcpus, 2);
+}
+
+TEST(ConfigParserTest, DefaultsWithoutOverrides) {
+  auto config = ParseVmConfig("name = vm1\nkernel = minipython\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->image.memory, guests::MinipythonUnikernel().memory);
+  EXPECT_EQ(config->vcpus, 1);
+}
+
+TEST(ConfigParserTest, MissingRequiredKeysFail) {
+  EXPECT_EQ(ParseVmConfig("kernel = daytime").code(), lv::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ParseVmConfig("name = x").code(), lv::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ParseVmConfig("").code(), lv::ErrorCode::kInvalidArgument);
+}
+
+TEST(ConfigParserTest, BadValuesFail) {
+  EXPECT_EQ(ParseVmConfig("name=x\nkernel=daytime\nmemory=-4").code(),
+            lv::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ParseVmConfig("name=x\nkernel=daytime\nvcpus=0").code(),
+            lv::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ParseVmConfig("name=x\nkernel=no-such-image").code(),
+            lv::ErrorCode::kNotFound);
+  EXPECT_EQ(ParseVmConfig("just some words").code(), lv::ErrorCode::kInvalidArgument);
+}
+
+TEST(ConfigParserTest, CommentsAndWhitespaceTolerated) {
+  auto config = ParseVmConfig(
+      "  name = 'fw'   # quoted with spaces\n\n\t kernel = clickos-fw # trailing\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->name, "fw");
+  EXPECT_EQ(config->image.name, "clickos-fw");
+}
+
+TEST(ConfigParserTest, UnknownKeysIgnored) {
+  auto config = ParseVmConfig(
+      "name=x\nkernel=daytime\non_crash=restart\ndisk=[ 'phy:/dev/vg/x' ]\n");
+  EXPECT_TRUE(config.ok());
+}
+
+}  // namespace
+}  // namespace toolstack

@@ -1,0 +1,230 @@
+// Unit tests for the pure XenStore data model: tree ops, transactions,
+// watches, effort counters and the unique-name admission scan.
+#include <gtest/gtest.h>
+
+#include "src/base/strings.h"
+#include "src/xenstore/store.h"
+
+namespace xs {
+namespace {
+
+using lv::ErrorCode;
+
+TEST(StoreTest, WriteCreatesIntermediateNodes) {
+  Store store;
+  EXPECT_TRUE(store.Write("/local/domain/1/name", "vm1", hv::kDom0).ok());
+  EXPECT_TRUE(store.Exists("/local/domain/1"));
+  EXPECT_TRUE(store.Exists("/local"));
+  auto r = store.Read("/local/domain/1/name");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "vm1");
+}
+
+TEST(StoreTest, ReadMissingPathFails) {
+  Store store;
+  EXPECT_EQ(store.Read("/nope").code(), ErrorCode::kNotFound);
+}
+
+TEST(StoreTest, PathsAreCanonicalized) {
+  Store store;
+  EXPECT_TRUE(store.Write("/a//b/", "v", hv::kDom0).ok());
+  EXPECT_EQ(*store.Read("a/b"), "v");
+  EXPECT_EQ(*store.Read("/a/b"), "v");
+}
+
+TEST(StoreTest, RmRemovesSubtree) {
+  Store store;
+  (void)store.Write("/a/b/c", "1", hv::kDom0);
+  (void)store.Write("/a/b/d", "2", hv::kDom0);
+  EXPECT_TRUE(store.Rm("/a/b").ok());
+  EXPECT_FALSE(store.Exists("/a/b/c"));
+  EXPECT_FALSE(store.Exists("/a/b"));
+  EXPECT_TRUE(store.Exists("/a"));
+  EXPECT_EQ(store.Rm("/a/b").code(), ErrorCode::kNotFound);
+}
+
+TEST(StoreTest, DirectoryListsChildrenSorted) {
+  Store store;
+  (void)store.Write("/dir/b", "", hv::kDom0);
+  (void)store.Write("/dir/a", "", hv::kDom0);
+  (void)store.Write("/dir/c/nested", "", hv::kDom0);
+  auto r = store.Directory("/dir");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(store.last_effort().children_listed, 3);
+}
+
+TEST(StoreTest, OverwriteUpdatesValue) {
+  Store store;
+  (void)store.Write("/k", "v1", hv::kDom0);
+  (void)store.Write("/k", "v2", hv::kDom0);
+  EXPECT_EQ(*store.Read("/k"), "v2");
+}
+
+// --- Watches ----------------------------------------------------------------
+
+TEST(StoreTest, WatchFiresOnExactPathAndDescendants) {
+  Store store;
+  store.AddWatch(/*client=*/1, "/local/domain/3", "tok");
+  std::vector<WatchHit> hits;
+  (void)store.Write("/local/domain/3", "x", hv::kDom0, kNoTxn, &hits);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].client, 1);
+  EXPECT_EQ(hits[0].token, "tok");
+
+  hits.clear();
+  (void)store.Write("/local/domain/3/device/vif/0", "y", hv::kDom0, kNoTxn, &hits);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].fired_path, "local/domain/3/device/vif/0");
+}
+
+TEST(StoreTest, WatchDoesNotFireOnSiblingOrPrefixName) {
+  Store store;
+  store.AddWatch(1, "/local/domain/3", "tok");
+  std::vector<WatchHit> hits;
+  (void)store.Write("/local/domain/4/name", "other", hv::kDom0, kNoTxn, &hits);
+  EXPECT_TRUE(hits.empty());
+  // "/local/domain/33" shares the string prefix but is a different node.
+  (void)store.Write("/local/domain/33", "x", hv::kDom0, kNoTxn, &hits);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(StoreTest, EveryMutationScansAllWatches) {
+  Store store;
+  for (int i = 0; i < 100; ++i) {
+    store.AddWatch(i, lv::StrFormat("/w/%d", i), "t");
+  }
+  std::vector<WatchHit> hits;
+  (void)store.Write("/unrelated", "x", hv::kDom0, kNoTxn, &hits);
+  EXPECT_EQ(store.last_effort().watch_checks, 100);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(StoreTest, RemoveWatchStopsFiring) {
+  Store store;
+  store.AddWatch(1, "/a", "t1");
+  store.AddWatch(1, "/a", "t2");
+  store.RemoveWatch(1, "/a", "t1");
+  std::vector<WatchHit> hits;
+  (void)store.Write("/a/x", "v", hv::kDom0, kNoTxn, &hits);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].token, "t2");
+  store.RemoveClientWatches(1);
+  hits.clear();
+  (void)store.Write("/a/y", "v", hv::kDom0, kNoTxn, &hits);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(store.num_watches(), 0);
+}
+
+// --- Transactions -------------------------------------------------------------
+
+TEST(StoreTest, TxnBuffersWritesUntilCommit) {
+  Store store;
+  TxnId txn = store.TxBegin();
+  EXPECT_TRUE(store.Write("/t/a", "1", hv::kDom0, txn).ok());
+  EXPECT_FALSE(store.Exists("/t/a"));
+  std::vector<WatchHit> hits;
+  EXPECT_TRUE(store.TxCommit(txn, /*abort=*/false, &hits).ok());
+  EXPECT_EQ(*store.Read("/t/a"), "1");
+}
+
+TEST(StoreTest, TxnReadYourWrites) {
+  Store store;
+  TxnId txn = store.TxBegin();
+  (void)store.Write("/t/a", "in-txn", hv::kDom0, txn);
+  EXPECT_EQ(*store.Read("/t/a", txn), "in-txn");
+}
+
+TEST(StoreTest, TxnAbortDiscards) {
+  Store store;
+  TxnId txn = store.TxBegin();
+  (void)store.Write("/t/a", "1", hv::kDom0, txn);
+  std::vector<WatchHit> hits;
+  EXPECT_TRUE(store.TxCommit(txn, /*abort=*/true, &hits).ok());
+  EXPECT_FALSE(store.Exists("/t/a"));
+  EXPECT_EQ(store.open_txns(), 0);
+}
+
+TEST(StoreTest, ConflictingWriteForcesRetry) {
+  Store store;
+  (void)store.Write("/shared", "0", hv::kDom0);
+  TxnId txn = store.TxBegin();
+  (void)store.Read("/shared", txn);
+  // Another client writes the same path outside the transaction.
+  (void)store.Write("/shared", "external", hv::kDom0);
+  (void)store.Write("/shared", "mine", hv::kDom0, txn);
+  std::vector<WatchHit> hits;
+  lv::Status commit = store.TxCommit(txn, false, &hits);
+  EXPECT_EQ(commit.code(), ErrorCode::kConflict);
+  EXPECT_EQ(*store.Read("/shared"), "external");  // Buffered write discarded.
+}
+
+TEST(StoreTest, NonOverlappingTxnsBothCommit) {
+  Store store;
+  TxnId t1 = store.TxBegin();
+  TxnId t2 = store.TxBegin();
+  (void)store.Write("/t1/x", "a", hv::kDom0, t1);
+  (void)store.Write("/t2/y", "b", hv::kDom0, t2);
+  std::vector<WatchHit> hits;
+  EXPECT_TRUE(store.TxCommit(t1, false, &hits).ok());
+  EXPECT_TRUE(store.TxCommit(t2, false, &hits).ok());
+  EXPECT_EQ(*store.Read("/t1/x"), "a");
+  EXPECT_EQ(*store.Read("/t2/y"), "b");
+}
+
+TEST(StoreTest, TxnCommitFiresWatchesForBufferedWrites) {
+  Store store;
+  store.AddWatch(1, "/t", "tok");
+  TxnId txn = store.TxBegin();
+  (void)store.Write("/t/a", "1", hv::kDom0, txn);
+  (void)store.Write("/t/b", "2", hv::kDom0, txn);
+  std::vector<WatchHit> hits;
+  EXPECT_TRUE(store.TxCommit(txn, false, &hits).ok());
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(StoreTest, CommitUnknownTxnFails) {
+  Store store;
+  std::vector<WatchHit> hits;
+  EXPECT_EQ(store.TxCommit(999, false, &hits).code(), ErrorCode::kInvalidArgument);
+}
+
+// --- Unique names ----------------------------------------------------------
+
+TEST(StoreTest, CheckUniqueNameScansAllDomains) {
+  Store store;
+  for (int i = 1; i <= 50; ++i) {
+    (void)store.Write(lv::StrFormat("/local/domain/%d/name", i), lv::StrFormat("vm%d", i),
+                      hv::kDom0);
+  }
+  EXPECT_TRUE(store.CheckUniqueName("fresh").ok());
+  EXPECT_EQ(store.last_effort().names_compared, 50);
+  EXPECT_EQ(store.CheckUniqueName("vm17").code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(StoreTest, CheckUniqueNameEmptyStoreOk) {
+  Store store;
+  EXPECT_TRUE(store.CheckUniqueName("anything").ok());
+}
+
+TEST(StoreTest, EffortCountsNodesVisited) {
+  Store store;
+  (void)store.Write("/a/b/c/d", "v", hv::kDom0);
+  EXPECT_EQ(store.last_effort().nodes_visited, 4);
+  (void)store.Read("/a/b/c/d");
+  EXPECT_EQ(store.last_effort().nodes_visited, 4);
+  EXPECT_EQ(store.last_effort().value_bytes, 1);
+}
+
+TEST(StoreTest, GenerationAdvancesOnMutation) {
+  Store store;
+  uint64_t g0 = store.generation();
+  (void)store.Write("/x", "1", hv::kDom0);
+  EXPECT_GT(store.generation(), g0);
+  uint64_t g1 = store.generation();
+  (void)store.Read("/x");
+  EXPECT_EQ(store.generation(), g1);  // Reads don't bump.
+}
+
+}  // namespace
+}  // namespace xs
