@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_memory_sharing.dir/ablate_memory_sharing.cc.o"
+  "CMakeFiles/ablate_memory_sharing.dir/ablate_memory_sharing.cc.o.d"
+  "ablate_memory_sharing"
+  "ablate_memory_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_memory_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_toolstack.dir/ablate_toolstack.cc.o"
+  "CMakeFiles/ablate_toolstack.dir/ablate_toolstack.cc.o.d"
+  "ablate_toolstack"
+  "ablate_toolstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_toolstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_xenstore.dir/ablate_xenstore.cc.o"
+  "CMakeFiles/ablate_xenstore.dir/ablate_xenstore.cc.o.d"
+  "ablate_xenstore"
+  "ablate_xenstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_xenstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_syscall_growth.dir/fig01_syscall_growth.cc.o"
+  "CMakeFiles/fig01_syscall_growth.dir/fig01_syscall_growth.cc.o.d"
+  "fig01_syscall_growth"
+  "fig01_syscall_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_syscall_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_boot_vs_image_size.dir/fig02_boot_vs_image_size.cc.o"
+  "CMakeFiles/fig02_boot_vs_image_size.dir/fig02_boot_vs_image_size.cc.o.d"
+  "fig02_boot_vs_image_size"
+  "fig02_boot_vs_image_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_boot_vs_image_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_boot_vs_image_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_instantiation.dir/fig04_instantiation.cc.o"
+  "CMakeFiles/fig04_instantiation.dir/fig04_instantiation.cc.o.d"
+  "fig04_instantiation"
+  "fig04_instantiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_instantiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

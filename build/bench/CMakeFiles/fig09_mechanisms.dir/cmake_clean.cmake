@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_mechanisms.dir/fig09_mechanisms.cc.o"
+  "CMakeFiles/fig09_mechanisms.dir/fig09_mechanisms.cc.o.d"
+  "fig09_mechanisms"
+  "fig09_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

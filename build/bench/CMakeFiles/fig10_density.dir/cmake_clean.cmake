@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_density.dir/fig10_density.cc.o"
+  "CMakeFiles/fig10_density.dir/fig10_density.cc.o.d"
+  "fig10_density"
+  "fig10_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_boot_times.dir/fig11_boot_times.cc.o"
+  "CMakeFiles/fig11_boot_times.dir/fig11_boot_times.cc.o.d"
+  "fig11_boot_times"
+  "fig11_boot_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_boot_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

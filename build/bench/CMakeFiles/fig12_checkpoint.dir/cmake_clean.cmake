@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_checkpoint.dir/fig12_checkpoint.cc.o"
+  "CMakeFiles/fig12_checkpoint.dir/fig12_checkpoint.cc.o.d"
+  "fig12_checkpoint"
+  "fig12_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

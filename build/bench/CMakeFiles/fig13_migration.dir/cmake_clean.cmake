@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_migration.dir/fig13_migration.cc.o"
+  "CMakeFiles/fig13_migration.dir/fig13_migration.cc.o.d"
+  "fig13_migration"
+  "fig13_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_cpu.dir/fig15_cpu.cc.o"
+  "CMakeFiles/fig15_cpu.dir/fig15_cpu.cc.o.d"
+  "fig15_cpu"
+  "fig15_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

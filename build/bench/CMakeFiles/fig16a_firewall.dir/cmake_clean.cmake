@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16a_firewall.dir/fig16a_firewall.cc.o"
+  "CMakeFiles/fig16a_firewall.dir/fig16a_firewall.cc.o.d"
+  "fig16a_firewall"
+  "fig16a_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16a_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16b_jit.dir/fig16b_jit.cc.o"
+  "CMakeFiles/fig16b_jit.dir/fig16b_jit.cc.o.d"
+  "fig16b_jit"
+  "fig16b_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16b_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16c_tls.dir/fig16c_tls.cc.o"
+  "CMakeFiles/fig16c_tls.dir/fig16c_tls.cc.o.d"
+  "fig16c_tls"
+  "fig16c_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16c_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

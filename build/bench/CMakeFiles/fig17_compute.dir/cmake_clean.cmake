@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_compute.dir/fig17_compute.cc.o"
+  "CMakeFiles/fig17_compute.dir/fig17_compute.cc.o.d"
+  "fig17_compute"
+  "fig17_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_cli.dir/chaos_cli.cpp.o"
+  "CMakeFiles/chaos_cli.dir/chaos_cli.cpp.o.d"
+  "chaos_cli"
+  "chaos_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_service.dir/compute_service.cpp.o"
+  "CMakeFiles/compute_service.dir/compute_service.cpp.o.d"
+  "compute_service"
+  "compute_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_fleet.dir/firewall_fleet.cpp.o"
+  "CMakeFiles/firewall_fleet.dir/firewall_fleet.cpp.o.d"
+  "firewall_fleet"
+  "firewall_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

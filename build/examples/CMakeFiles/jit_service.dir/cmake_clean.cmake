@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_service.dir/jit_service.cpp.o"
+  "CMakeFiles/jit_service.dir/jit_service.cpp.o.d"
+  "jit_service"
+  "jit_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

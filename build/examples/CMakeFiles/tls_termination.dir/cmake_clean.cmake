@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_termination.dir/tls_termination.cpp.o"
+  "CMakeFiles/tls_termination.dir/tls_termination.cpp.o.d"
+  "tls_termination"
+  "tls_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

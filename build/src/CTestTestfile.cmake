@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("hv")
+subdirs("xenstore")
+subdirs("net")
+subdirs("devices")
+subdirs("guests")
+subdirs("tinyx")
+subdirs("toolstack")
+subdirs("container")
+subdirs("core")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/log.cc" "src/base/CMakeFiles/lv_base.dir/log.cc.o" "gcc" "src/base/CMakeFiles/lv_base.dir/log.cc.o.d"
+  "/root/repo/src/base/result.cc" "src/base/CMakeFiles/lv_base.dir/result.cc.o" "gcc" "src/base/CMakeFiles/lv_base.dir/result.cc.o.d"
+  "/root/repo/src/base/stats.cc" "src/base/CMakeFiles/lv_base.dir/stats.cc.o" "gcc" "src/base/CMakeFiles/lv_base.dir/stats.cc.o.d"
+  "/root/repo/src/base/strings.cc" "src/base/CMakeFiles/lv_base.dir/strings.cc.o" "gcc" "src/base/CMakeFiles/lv_base.dir/strings.cc.o.d"
+  "/root/repo/src/base/time.cc" "src/base/CMakeFiles/lv_base.dir/time.cc.o" "gcc" "src/base/CMakeFiles/lv_base.dir/time.cc.o.d"
+  "/root/repo/src/base/units.cc" "src/base/CMakeFiles/lv_base.dir/units.cc.o" "gcc" "src/base/CMakeFiles/lv_base.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_base.dir/log.cc.o"
+  "CMakeFiles/lv_base.dir/log.cc.o.d"
+  "CMakeFiles/lv_base.dir/result.cc.o"
+  "CMakeFiles/lv_base.dir/result.cc.o.d"
+  "CMakeFiles/lv_base.dir/stats.cc.o"
+  "CMakeFiles/lv_base.dir/stats.cc.o.d"
+  "CMakeFiles/lv_base.dir/strings.cc.o"
+  "CMakeFiles/lv_base.dir/strings.cc.o.d"
+  "CMakeFiles/lv_base.dir/time.cc.o"
+  "CMakeFiles/lv_base.dir/time.cc.o.d"
+  "CMakeFiles/lv_base.dir/units.cc.o"
+  "CMakeFiles/lv_base.dir/units.cc.o.d"
+  "liblv_base.a"
+  "liblv_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

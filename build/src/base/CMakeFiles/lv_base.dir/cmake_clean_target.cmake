@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblv_base.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_container.dir/container.cc.o"
+  "CMakeFiles/lv_container.dir/container.cc.o.d"
+  "liblv_container.a"
+  "liblv_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_core.dir/host.cc.o"
+  "CMakeFiles/lv_core.dir/host.cc.o.d"
+  "liblv_core.a"
+  "liblv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_devices.dir/backend.cc.o"
+  "CMakeFiles/lv_devices.dir/backend.cc.o.d"
+  "CMakeFiles/lv_devices.dir/hotplug.cc.o"
+  "CMakeFiles/lv_devices.dir/hotplug.cc.o.d"
+  "CMakeFiles/lv_devices.dir/sysctl.cc.o"
+  "CMakeFiles/lv_devices.dir/sysctl.cc.o.d"
+  "liblv_devices.a"
+  "liblv_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

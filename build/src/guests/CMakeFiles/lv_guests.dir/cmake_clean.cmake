@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_guests.dir/apps.cc.o"
+  "CMakeFiles/lv_guests.dir/apps.cc.o.d"
+  "CMakeFiles/lv_guests.dir/guest.cc.o"
+  "CMakeFiles/lv_guests.dir/guest.cc.o.d"
+  "CMakeFiles/lv_guests.dir/image.cc.o"
+  "CMakeFiles/lv_guests.dir/image.cc.o.d"
+  "CMakeFiles/lv_guests.dir/syscall_table.cc.o"
+  "CMakeFiles/lv_guests.dir/syscall_table.cc.o.d"
+  "liblv_guests.a"
+  "liblv_guests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_guests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_hv.dir/event_channel.cc.o"
+  "CMakeFiles/lv_hv.dir/event_channel.cc.o.d"
+  "CMakeFiles/lv_hv.dir/grant_table.cc.o"
+  "CMakeFiles/lv_hv.dir/grant_table.cc.o.d"
+  "CMakeFiles/lv_hv.dir/hypervisor.cc.o"
+  "CMakeFiles/lv_hv.dir/hypervisor.cc.o.d"
+  "CMakeFiles/lv_hv.dir/memory.cc.o"
+  "CMakeFiles/lv_hv.dir/memory.cc.o.d"
+  "liblv_hv.a"
+  "liblv_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

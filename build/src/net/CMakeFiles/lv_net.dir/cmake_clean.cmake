@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_net.dir/switch.cc.o"
+  "CMakeFiles/lv_net.dir/switch.cc.o.d"
+  "liblv_net.a"
+  "liblv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

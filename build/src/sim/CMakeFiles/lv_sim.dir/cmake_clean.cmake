@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_sim.dir/cpu.cc.o"
+  "CMakeFiles/lv_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/lv_sim.dir/engine.cc.o"
+  "CMakeFiles/lv_sim.dir/engine.cc.o.d"
+  "liblv_sim.a"
+  "liblv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

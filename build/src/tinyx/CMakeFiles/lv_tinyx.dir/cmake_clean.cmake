@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_tinyx.dir/builder.cc.o"
+  "CMakeFiles/lv_tinyx.dir/builder.cc.o.d"
+  "CMakeFiles/lv_tinyx.dir/kernel_config.cc.o"
+  "CMakeFiles/lv_tinyx.dir/kernel_config.cc.o.d"
+  "CMakeFiles/lv_tinyx.dir/package_db.cc.o"
+  "CMakeFiles/lv_tinyx.dir/package_db.cc.o.d"
+  "liblv_tinyx.a"
+  "liblv_tinyx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_tinyx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/toolstack/chaos.cc" "src/toolstack/CMakeFiles/lv_toolstack.dir/chaos.cc.o" "gcc" "src/toolstack/CMakeFiles/lv_toolstack.dir/chaos.cc.o.d"
+  "/root/repo/src/toolstack/chaos_daemon.cc" "src/toolstack/CMakeFiles/lv_toolstack.dir/chaos_daemon.cc.o" "gcc" "src/toolstack/CMakeFiles/lv_toolstack.dir/chaos_daemon.cc.o.d"
+  "/root/repo/src/toolstack/config.cc" "src/toolstack/CMakeFiles/lv_toolstack.dir/config.cc.o" "gcc" "src/toolstack/CMakeFiles/lv_toolstack.dir/config.cc.o.d"
+  "/root/repo/src/toolstack/migration.cc" "src/toolstack/CMakeFiles/lv_toolstack.dir/migration.cc.o" "gcc" "src/toolstack/CMakeFiles/lv_toolstack.dir/migration.cc.o.d"
+  "/root/repo/src/toolstack/toolstack.cc" "src/toolstack/CMakeFiles/lv_toolstack.dir/toolstack.cc.o" "gcc" "src/toolstack/CMakeFiles/lv_toolstack.dir/toolstack.cc.o.d"
+  "/root/repo/src/toolstack/xl.cc" "src/toolstack/CMakeFiles/lv_toolstack.dir/xl.cc.o" "gcc" "src/toolstack/CMakeFiles/lv_toolstack.dir/xl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lv_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/lv_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/xenstore/CMakeFiles/lv_xenstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/lv_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/guests/CMakeFiles/lv_guests.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lv_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_toolstack.dir/chaos.cc.o"
+  "CMakeFiles/lv_toolstack.dir/chaos.cc.o.d"
+  "CMakeFiles/lv_toolstack.dir/chaos_daemon.cc.o"
+  "CMakeFiles/lv_toolstack.dir/chaos_daemon.cc.o.d"
+  "CMakeFiles/lv_toolstack.dir/config.cc.o"
+  "CMakeFiles/lv_toolstack.dir/config.cc.o.d"
+  "CMakeFiles/lv_toolstack.dir/migration.cc.o"
+  "CMakeFiles/lv_toolstack.dir/migration.cc.o.d"
+  "CMakeFiles/lv_toolstack.dir/toolstack.cc.o"
+  "CMakeFiles/lv_toolstack.dir/toolstack.cc.o.d"
+  "CMakeFiles/lv_toolstack.dir/xl.cc.o"
+  "CMakeFiles/lv_toolstack.dir/xl.cc.o.d"
+  "liblv_toolstack.a"
+  "liblv_toolstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_toolstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

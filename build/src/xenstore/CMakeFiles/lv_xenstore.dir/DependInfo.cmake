@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xenstore/daemon.cc" "src/xenstore/CMakeFiles/lv_xenstore.dir/daemon.cc.o" "gcc" "src/xenstore/CMakeFiles/lv_xenstore.dir/daemon.cc.o.d"
+  "/root/repo/src/xenstore/store.cc" "src/xenstore/CMakeFiles/lv_xenstore.dir/store.cc.o" "gcc" "src/xenstore/CMakeFiles/lv_xenstore.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lv_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/lv_hv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

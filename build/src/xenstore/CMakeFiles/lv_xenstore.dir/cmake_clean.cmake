@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_xenstore.dir/daemon.cc.o"
+  "CMakeFiles/lv_xenstore.dir/daemon.cc.o.d"
+  "CMakeFiles/lv_xenstore.dir/store.cc.o"
+  "CMakeFiles/lv_xenstore.dir/store.cc.o.d"
+  "liblv_xenstore.a"
+  "liblv_xenstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_xenstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

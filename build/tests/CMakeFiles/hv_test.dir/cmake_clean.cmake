@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_test.dir/hv_test.cc.o"
+  "CMakeFiles/hv_test.dir/hv_test.cc.o.d"
+  "hv_test"
+  "hv_test.pdb"
+  "hv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

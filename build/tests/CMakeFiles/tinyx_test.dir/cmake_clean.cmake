@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinyx_test.dir/tinyx_test.cc.o"
+  "CMakeFiles/tinyx_test.dir/tinyx_test.cc.o.d"
+  "tinyx_test"
+  "tinyx_test.pdb"
+  "tinyx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinyx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolstack_config_test.dir/toolstack_config_test.cc.o"
+  "CMakeFiles/toolstack_config_test.dir/toolstack_config_test.cc.o.d"
+  "toolstack_config_test"
+  "toolstack_config_test.pdb"
+  "toolstack_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolstack_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xenstore_daemon_test.dir/xenstore_daemon_test.cc.o"
+  "CMakeFiles/xenstore_daemon_test.dir/xenstore_daemon_test.cc.o.d"
+  "xenstore_daemon_test"
+  "xenstore_daemon_test.pdb"
+  "xenstore_daemon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xenstore_daemon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

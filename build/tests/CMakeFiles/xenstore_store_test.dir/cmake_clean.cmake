@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xenstore_store_test.dir/xenstore_store_test.cc.o"
+  "CMakeFiles/xenstore_store_test.dir/xenstore_store_test.cc.o.d"
+  "xenstore_store_test"
+  "xenstore_store_test.pdb"
+  "xenstore_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xenstore_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
