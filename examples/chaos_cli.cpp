@@ -16,6 +16,12 @@
 //
 //   $ ./build/examples/chaos_cli "create web0 daytime" list "save web0"
 //   $ ./build/examples/chaos_cli "restore web0" list "destroy web0" mem
+//
+// Pass --trace-out=<file> (anywhere in argv) to record a control-plane
+// trace of the whole session and write it as Chrome trace_event JSON —
+// load it in chrome://tracing or https://ui.perfetto.dev:
+//
+//   $ ./build/examples/chaos_cli --trace-out=trace.json "create web0 daytime" quit
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -27,6 +33,8 @@
 #include "src/core/host.h"
 #include "src/sim/run.h"
 #include "src/toolstack/config.h"
+#include "src/trace/export.h"
+#include "src/trace/trace.h"
 
 namespace {
 
@@ -191,23 +199,49 @@ class ChaosCli {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string trace_out;
+  std::vector<std::string> commands;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::string("--trace-out=").size());
+      if (trace_out.empty()) {
+        std::printf("error: --trace-out needs a file name\n");
+        return 1;
+      }
+    } else {
+      commands.push_back(std::move(arg));
+    }
+  }
   ChaosCli cli;
-  if (argc > 1) {
-    for (int i = 1; i < argc; ++i) {
-      std::printf("chaos> %s\n", argv[i]);
-      if (!cli.Execute(argv[i])) {
-        return 0;
+  if (!trace_out.empty()) {
+    trace::Tracer::Get().Enable();
+  }
+  if (!commands.empty()) {
+    for (const std::string& command : commands) {
+      std::printf("chaos> %s\n", command.c_str());
+      if (!cli.Execute(command)) {
+        break;
       }
     }
-    return 0;
-  }
-  std::string line;
-  std::printf("chaos> ");
-  while (std::getline(std::cin, line)) {
-    if (!cli.Execute(line)) {
-      break;
-    }
+  } else {
+    std::string line;
     std::printf("chaos> ");
+    while (std::getline(std::cin, line)) {
+      if (!cli.Execute(line)) {
+        break;
+      }
+      std::printf("chaos> ");
+    }
+  }
+  if (!trace_out.empty()) {
+    lv::Status written = trace::WriteChromeTraceFile(trace::Tracer::Get(), trace_out);
+    if (!written.ok()) {
+      std::printf("error writing trace: %s\n", written.error().message.c_str());
+      return 1;
+    }
+    std::printf("wrote trace to %s (open in chrome://tracing or ui.perfetto.dev)\n",
+                trace_out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by the trace subsystem.
+
+Checks that the file parses as JSON, that begin/end span events pair up and
+nest properly per track, and that timestamps are monotonically non-decreasing
+(both globally — events are recorded in simulated-time order — and per track).
+
+Usage:
+  check_trace_json.py trace.json ...        validate existing file(s)
+  check_trace_json.py --cli <chaos_cli>     run chaos_cli --trace-out and
+                                            validate what it writes
+
+The --cli form is registered as a ctest so the end-to-end path (instrumented
+control plane -> exporter -> loadable JSON) stays green.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import os
+
+
+def fail(msg):
+    print("FAIL: %s" % msg)
+    sys.exit(1)
+
+
+def validate(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail("%s: %s" % (path, e))
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("%s: no traceEvents array" % path)
+
+    prev_ts = None
+    per_track_prev = {}
+    open_spans = {}  # tid -> stack of (name, ts)
+    counts = {"B": 0, "E": 0, "C": 0, "i": 0, "M": 0}
+
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in counts:
+            fail("%s: event %d has unknown phase %r" % (path, i, ph))
+        counts[ph] += 1
+        if ph == "M":
+            continue  # Metadata carries no timestamp.
+
+        ts = ev.get("ts")
+        tid = ev.get("tid")
+        name = ev.get("name")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail("%s: event %d (%r) has bad ts %r" % (path, i, name, ts))
+        if prev_ts is not None and ts < prev_ts:
+            fail("%s: event %d (%r) ts %.3f < previous %.3f — not "
+                 "monotonic" % (path, i, name, ts, prev_ts))
+        prev_ts = ts
+        if tid in per_track_prev and ts < per_track_prev[tid]:
+            fail("%s: event %d (%r) goes back in time on track %s" %
+                 (path, i, name, tid))
+        per_track_prev[tid] = ts
+
+        if ph == "B":
+            open_spans.setdefault(tid, []).append((name, ts))
+        elif ph == "E":
+            stack = open_spans.get(tid)
+            if not stack:
+                fail("%s: event %d ends %r on track %s with no open span" %
+                     (path, i, name, tid))
+            open_name, open_ts = stack.pop()
+            if open_name != name:
+                fail("%s: event %d ends %r but innermost open span on track "
+                     "%s is %r — spans cross" % (path, i, name, tid, open_name))
+            if ts < open_ts:
+                fail("%s: span %r on track %s ends before it begins" %
+                     (path, name, tid))
+
+    leftovers = {tid: stack for tid, stack in open_spans.items() if stack}
+    if leftovers:
+        fail("%s: unclosed spans at end of trace: %r" % (path, leftovers))
+    if counts["B"] != counts["E"]:
+        fail("%s: %d begin events vs %d end events" %
+             (path, counts["B"], counts["E"]))
+    if counts["B"] == 0:
+        fail("%s: no spans recorded" % path)
+
+    print("OK: %s (%d events: %d spans, %d counter samples, %d instants)" %
+          (path, len(events), counts["B"], counts["C"], counts["i"]))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="trace JSON files to validate")
+    parser.add_argument("--cli", help="path to chaos_cli; generates a trace first")
+    args = parser.parse_args()
+    if not args.files and not args.cli:
+        parser.error("give trace files and/or --cli")
+
+    for path in args.files:
+        validate(path)
+
+    if args.cli:
+        with tempfile.TemporaryDirectory() as tmp:
+            out = os.path.join(tmp, "trace.json")
+            cmd = [args.cli, "--trace-out=%s" % out,
+                   "create web0 daytime", "create web1 daytime", "list",
+                   "save web0", "restore web0", "destroy web0", "quit"]
+            proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                                  stderr=subprocess.STDOUT)
+            if proc.returncode != 0:
+                fail("%s exited %d:\n%s" %
+                     (args.cli, proc.returncode, proc.stdout.decode()))
+            validate(out)
+
+
+if __name__ == "__main__":
+    main()

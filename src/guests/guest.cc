@@ -2,6 +2,7 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/trace/trace.h"
 
 namespace guests {
 
@@ -30,6 +31,14 @@ sim::Co<void> Guest::Boot(hv::Domain& domain) {
   boot_core_ = domain.boot_core();
   running_ = true;
   sim::ExecCtx ctx = Ctx();
+  // Each guest boots on its own trace row so concurrently booting guests'
+  // device-enumeration spans never interleave on one track.
+  trace::Tracer& tracer = trace::Tracer::Get();
+  if (tracer.enabled()) {
+    ctx = ctx.OnTrack(
+        tracer.NewTrack(lv::StrFormat("guest:dom%lld", (long long)domid_)));
+  }
+  trace::Span boot_span(ctx.track, "guest.boot");
 
   // Early kernel init: a slice of the guest's boot work before drivers come
   // up (decompression, memory setup, CPU bring-up). Resumed guests only

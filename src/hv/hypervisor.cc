@@ -2,6 +2,7 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/trace/trace.h"
 
 namespace hv {
 
@@ -69,6 +70,7 @@ int64_t Hypervisor::NumDomainsInState(DomainState state) const {
 
 sim::Co<void> Hypervisor::HypercallEntry(sim::ExecCtx ctx) {
   ++stats_.hypercalls;
+  trace::Count("hv.hypercalls", 1);
   co_await ctx.Work(costs_.hypercall);
 }
 
@@ -81,6 +83,7 @@ lv::Result<Domain*> Hypervisor::Lookup(DomainId id) {
 }
 
 sim::Co<lv::Result<DomainId>> Hypervisor::DomainCreate(sim::ExecCtx ctx) {
+  trace::Span span(ctx.track, "hv.domain_create");
   co_await HypercallEntry(ctx);
   co_await ctx.Work(costs_.domain_create);
   DomainId id = next_id_++;
@@ -102,6 +105,7 @@ sim::Co<lv::Status> Hypervisor::DomainSetMaxMem(sim::ExecCtx ctx, DomainId id, l
 
 sim::Co<lv::Status> Hypervisor::PopulatePhysmap(sim::ExecCtx ctx, DomainId id,
                                                 lv::Bytes bytes) {
+  trace::Span span(ctx.track, "hv.populate_physmap");
   co_await HypercallEntry(ctx);
   auto dom = Lookup(id);
   if (!dom.ok()) {
@@ -113,6 +117,7 @@ sim::Co<lv::Status> Hypervisor::PopulatePhysmap(sim::ExecCtx ctx, DomainId id,
     co_return reserved;
   }
   (*dom)->add_reserved_pages(pages);
+  trace::Count("hv.pages_populated", static_cast<double>(pages));
   co_await ctx.Work(costs_.per_page_populate * static_cast<double>(pages));
   co_return lv::Status::Ok();
 }
@@ -121,6 +126,7 @@ sim::Co<lv::Status> Hypervisor::PopulatePhysmapShared(sim::ExecCtx ctx, DomainId
                                                       lv::Bytes bytes,
                                                       const std::string& template_key,
                                                       double shared_fraction) {
+  trace::Span span(ctx.track, "hv.populate_physmap");
   co_await HypercallEntry(ctx);
   auto dom = Lookup(id);
   if (!dom.ok()) {
@@ -145,9 +151,11 @@ sim::Co<lv::Status> Hypervisor::PopulatePhysmapShared(sim::ExecCtx ctx, DomainId
     ++it->second.refs;
     // Mapping existing read-only pages is cheap; only private pages are
     // populated.
+    trace::Count("hv.pages_populated", static_cast<double>(private_pages));
     co_await ctx.Work(costs_.per_page_populate * static_cast<double>(private_pages));
   } else {
     templates_.emplace(template_key, SharedTemplate{shared_pages, 1});
+    trace::Count("hv.pages_populated", static_cast<double>(total_pages));
     co_await ctx.Work(costs_.per_page_populate * static_cast<double>(total_pages));
   }
   (*dom)->add_reserved_pages(private_pages);
@@ -165,6 +173,7 @@ int64_t Hypervisor::shared_template_pages() const {
 
 sim::Co<lv::Status> Hypervisor::VcpuInit(sim::ExecCtx ctx, DomainId id,
                                          std::vector<int> cores) {
+  trace::Span span(ctx.track, "hv.vcpu_init");
   co_await HypercallEntry(ctx);
   auto dom = Lookup(id);
   if (!dom.ok()) {
@@ -179,27 +188,32 @@ sim::Co<lv::Status> Hypervisor::VcpuInit(sim::ExecCtx ctx, DomainId id,
 }
 
 sim::Co<lv::Status> Hypervisor::CopyToDomain(sim::ExecCtx ctx, DomainId id, lv::Bytes bytes) {
+  trace::Span span(ctx.track, "hv.copy_to_domain");
   co_await HypercallEntry(ctx);
   auto dom = Lookup(id);
   if (!dom.ok()) {
     co_return dom.error();
   }
+  trace::Count("hv.bytes_copied", static_cast<double>(bytes.count()));
   co_await ctx.Work(costs_.per_page_copy * static_cast<double>(lv::PagesFor(bytes)));
   co_return lv::Status::Ok();
 }
 
 sim::Co<lv::Status> Hypervisor::CopyFromDomain(sim::ExecCtx ctx, DomainId id,
                                                lv::Bytes bytes) {
+  trace::Span span(ctx.track, "hv.copy_from_domain");
   co_await HypercallEntry(ctx);
   auto dom = Lookup(id);
   if (!dom.ok()) {
     co_return dom.error();
   }
+  trace::Count("hv.bytes_copied", static_cast<double>(bytes.count()));
   co_await ctx.Work(costs_.per_page_copy * static_cast<double>(lv::PagesFor(bytes)));
   co_return lv::Status::Ok();
 }
 
 sim::Co<lv::Status> Hypervisor::DomainFinishBuild(sim::ExecCtx ctx, DomainId id) {
+  trace::Span span(ctx.track, "hv.finish_build");
   co_await HypercallEntry(ctx);
   auto dom = Lookup(id);
   if (!dom.ok()) {
@@ -227,6 +241,7 @@ sim::Co<lv::Status> Hypervisor::DomainPause(sim::ExecCtx ctx, DomainId id) {
 }
 
 sim::Co<lv::Status> Hypervisor::DomainUnpause(sim::ExecCtx ctx, DomainId id) {
+  trace::Span span(ctx.track, "hv.unpause");
   co_await HypercallEntry(ctx);
   auto dom_r = Lookup(id);
   if (!dom_r.ok()) {
@@ -264,6 +279,7 @@ sim::Co<lv::Status> Hypervisor::DomainShutdown(sim::ExecCtx ctx, DomainId id,
 }
 
 sim::Co<lv::Status> Hypervisor::DomainDestroy(sim::ExecCtx ctx, DomainId id) {
+  trace::Span span(ctx.track, "hv.domain_destroy");
   co_await HypercallEntry(ctx);
   auto dom_r = Lookup(id);
   if (!dom_r.ok()) {
@@ -304,6 +320,7 @@ sim::Co<lv::Result<DomainInfo>> Hypervisor::DomainGetInfo(sim::ExecCtx ctx, Doma
 }
 
 sim::Co<lv::Result<std::vector<DomainInfo>>> Hypervisor::ListDomains(sim::ExecCtx ctx) {
+  trace::Span span(ctx.track, "hv.list_domains");
   co_await HypercallEntry(ctx);
   co_await ctx.Work(costs_.per_domain_list * static_cast<double>(domains_.size()));
   std::vector<DomainInfo> out;

@@ -20,6 +20,7 @@
 
 #include "src/base/time.h"
 #include "src/sim/engine.h"
+#include "src/trace/trace.h"
 
 namespace sim {
 
@@ -98,14 +99,19 @@ class CpuScheduler {
 // Execution context: which core a control-plane coroutine is running on and
 // which owner its CPU time is billed to. Passed down through toolstack ->
 // store -> driver call chains so every microsecond lands on the right core.
+// It also carries the trace track (row) that spans opened along the chain
+// record onto, so one VM creation yields one coherent span tree even while
+// other coroutines interleave.
 struct ExecCtx {
   CpuScheduler* cpu = nullptr;
   int core = 0;
   CpuOwner owner = kHostOwner;
+  trace::TrackId track = trace::kHostTrack;
 
   CpuScheduler::RunAwaiter Work(Duration d) const { return cpu->Run(core, d, owner); }
-  ExecCtx OnCore(int c) const { return ExecCtx{cpu, c, owner}; }
-  ExecCtx As(CpuOwner o) const { return ExecCtx{cpu, core, o}; }
+  ExecCtx OnCore(int c) const { return ExecCtx{cpu, c, owner, track}; }
+  ExecCtx As(CpuOwner o) const { return ExecCtx{cpu, core, o, track}; }
+  ExecCtx OnTrack(trace::TrackId t) const { return ExecCtx{cpu, core, owner, t}; }
 };
 
 // Round-robin core placement helper mirroring the paper's experimental setup

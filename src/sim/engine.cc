@@ -1,6 +1,7 @@
 #include "src/sim/engine.h"
 
 #include "src/base/log.h"
+#include "src/trace/trace.h"
 
 namespace sim {
 
@@ -12,9 +13,13 @@ TimePoint LoggerNow(void* ctx) { return static_cast<Engine*>(ctx)->now(); }
 
 Engine::Engine(uint64_t seed) : rng_(seed) {
   lv::Logger::Get().AttachClock(&LoggerNow, this);
+  trace::Tracer::Get().AttachClock(&LoggerNow, this);
 }
 
-Engine::~Engine() { lv::Logger::Get().DetachClock(); }
+Engine::~Engine() {
+  lv::Logger::Get().DetachClock();
+  trace::Tracer::Get().DetachClock();
+}
 
 EventHandle Engine::ScheduleAt(TimePoint when, std::function<void()> fn) {
   LV_CHECK_MSG(when >= now_, "cannot schedule an event in the simulated past");
@@ -31,6 +36,7 @@ EventHandle Engine::ScheduleAt(TimePoint when, std::function<void()> fn) {
 void Engine::Spawn(Co<void> task) {
   auto h = task.Release();
   LV_CHECK_MSG(h != nullptr, "spawning an empty task");
+  trace::Count("engine.tasks_spawned", 1);
   h.promise().detached = true;
   h.resume();
 }
@@ -55,6 +61,7 @@ bool Engine::Step() {
   }
   now_ = ev->when;
   ++processed_;
+  trace::Count("engine.events", 1);
   ev->fn();
   return true;
 }
@@ -77,6 +84,7 @@ void Engine::RunUntil(TimePoint t) {
     }
     now_ = ev->when;
     ++processed_;
+    trace::Count("engine.events", 1);
     ev->fn();
   }
   if (now_ < t) {

@@ -2,6 +2,7 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/trace/trace.h"
 
 namespace toolstack {
 
@@ -44,6 +45,7 @@ sim::Co<lv::Status> ChaosToolstack::ExecutePhase(sim::ExecCtx ctx, Shell& shell,
                                                  const VmConfig& config, lv::Bytes payload,
                                                  bool is_restore) {
   lv::TimePoint t0 = env_.engine->now();
+  trace::Span phase(ctx.track, "create.devices");
   // Device initialization.
   if (use_noxs_) {
     if (shell.net_info.has_value()) {
@@ -92,10 +94,12 @@ sim::Co<lv::Status> ChaosToolstack::ExecutePhase(sim::ExecCtx ctx, Shell& shell,
       shell.xs_devices_precreated = true;
     }
   }
+  phase.End();
   breakdown_.devices += env_.engine->now() - t0;
 
   // Image build: parse + load the kernel (or the restore stream).
   t0 = env_.engine->now();
+  phase = trace::Span(ctx.track, "create.load");
   if (!is_restore) {
     co_await ctx.Work(costs_.image_parse_per_page *
                       static_cast<double>(lv::PagesFor(payload)));
@@ -103,12 +107,14 @@ sim::Co<lv::Status> ChaosToolstack::ExecutePhase(sim::ExecCtx ctx, Shell& shell,
     co_await ctx.Work(costs_.snapshot_file_overhead);
   }
   (void)co_await env_.hv->CopyToDomain(ctx, shell.domid, payload);
+  phase.End();
   breakdown_.load += env_.engine->now() - t0;
   co_return lv::Status::Ok();
 }
 
 sim::Co<void> ChaosToolstack::BootGuest(sim::ExecCtx ctx, const Shell& shell,
                                         const VmConfig& config, bool resume) {
+  trace::Span span(ctx.track, "create.boot");
   VmRecord record;
   record.config = config;
   record.core = shell.core;
@@ -124,16 +130,29 @@ sim::Co<void> ChaosToolstack::BootGuest(sim::ExecCtx ctx, const Shell& shell,
 
 sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::Create(sim::ExecCtx ctx, VmConfig config) {
   breakdown_ = CreateBreakdown{};
+  // One trace row per creation; ExecutePhase/BootGuest spans land on it too
+  // because the track rides in ctx.
+  trace::Tracer& tracer = trace::Tracer::Get();
+  if (tracer.enabled()) {
+    ctx = ctx.OnTrack(tracer.NewTrack(lv::StrFormat("vm:%s", config.name.c_str())));
+  }
+  trace::Span create_span(ctx.track, "vm.create");
   lv::TimePoint t0 = env_.engine->now();
+  trace::Span phase(ctx.track, "create.config");
   co_await ctx.Work(costs_.chaos_config_parse);
+  phase.End();
   breakdown_.config = env_.engine->now() - t0;
 
   t0 = env_.engine->now();
+  phase = trace::Span(ctx.track, "create.toolstack");
   co_await ctx.Work(costs_.chaos_state_keeping);
+  phase.End();
   breakdown_.toolstack = env_.engine->now() - t0;
 
   t0 = env_.engine->now();
+  phase = trace::Span(ctx.track, "create.hypervisor");
   auto shell = co_await ObtainShell(ctx, config);
+  phase.End();
   breakdown_.hypervisor = env_.engine->now() - t0;
   if (!shell.ok()) {
     co_return shell.error();
@@ -171,6 +190,7 @@ sim::Co<lv::Status> ChaosToolstack::DestroyDevices(sim::ExecCtx ctx, hv::DomainI
 }
 
 sim::Co<lv::Status> ChaosToolstack::Destroy(sim::ExecCtx ctx, hv::DomainId domid) {
+  trace::Span span(ctx.track, "vm.destroy");
   auto it = vms_.find(domid);
   if (it == vms_.end()) {
     co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");
@@ -210,6 +230,7 @@ sim::Co<lv::Status> ChaosToolstack::SuspendForMigration(sim::ExecCtx ctx,
 }
 
 sim::Co<lv::Result<Snapshot>> ChaosToolstack::Save(sim::ExecCtx ctx, hv::DomainId domid) {
+  trace::Span span(ctx.track, "vm.save");
   auto it = vms_.find(domid);
   if (it == vms_.end()) {
     co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");
@@ -231,6 +252,7 @@ sim::Co<lv::Result<Snapshot>> ChaosToolstack::Save(sim::ExecCtx ctx, hv::DomainI
 
 sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::PrepareIncoming(sim::ExecCtx ctx,
                                                                   VmConfig config) {
+  trace::Span span(ctx.track, "vm.prepare_incoming");
   co_await ctx.Work(costs_.chaos_config_parse);
   auto shell = co_await ObtainShell(ctx, config);
   if (!shell.ok()) {
@@ -243,6 +265,7 @@ sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::PrepareIncoming(sim::ExecCtx c
 
 sim::Co<lv::Status> ChaosToolstack::FinishIncoming(sim::ExecCtx ctx, hv::DomainId domid,
                                                    const Snapshot& snap) {
+  trace::Span span(ctx.track, "vm.finish_incoming");
   auto it = pending_incoming_.find(domid);
   if (it == pending_incoming_.end()) {
     co_return lv::Err(lv::ErrorCode::kNotFound, "no pending incoming domain");
@@ -271,6 +294,7 @@ sim::Co<lv::Status> ChaosToolstack::TeardownAfterMigration(sim::ExecCtx ctx,
 }
 
 sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::Restore(sim::ExecCtx ctx, Snapshot snap) {
+  trace::Span span(ctx.track, "vm.restore");
   auto domid = co_await PrepareIncoming(ctx, snap.config);
   if (!domid.ok()) {
     co_return domid;

@@ -2,6 +2,7 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/trace/trace.h"
 
 namespace toolstack {
 
@@ -13,6 +14,7 @@ sim::Co<lv::Result<Shell>> PrepareShell(HostEnv& env, const Costs& costs, sim::E
                                         lv::Bytes memory, bool wants_net, bool use_noxs,
                                         xs::XsClient* xs_client) {
   (void)costs;
+  trace::Span span(ctx.track, "shell.prepare");
   Shell shell;
   shell.memory = memory;
   shell.has_net = wants_net;
@@ -100,6 +102,9 @@ void ChaosDaemon::Start(sim::ExecCtx daemon_ctx) {
   for (int64_t i = 0; i < deficit; ++i) {
     work_->Release();
   }
+  // The refill loop runs on its own trace row so pooled-shell preparation is
+  // visibly asynchronous to the creations it feeds.
+  daemon_ctx = daemon_ctx.OnTrack(trace::Tracer::Get().NewTrack("chaosd"));
   env_.engine->Spawn(RefillLoop(daemon_ctx));
 }
 
@@ -137,8 +142,10 @@ sim::Co<void> ChaosDaemon::RefillLoop(sim::ExecCtx ctx) {
     if (!flavor.has_value()) {
       continue;  // Pool already at target.
     }
+    trace::Span refill(ctx.track, "chaosd.refill");
     auto shell = co_await PrepareShell(env_, costs_, ctx, flavor->memory,
                                        flavor->wants_net, use_noxs_, xs_client_.get());
+    refill.End();
     if (shell.ok()) {
       pool_.push_back(*shell);
       ++shells_built_;

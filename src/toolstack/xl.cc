@@ -2,6 +2,7 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/trace/trace.h"
 
 namespace toolstack {
 
@@ -90,14 +91,25 @@ sim::Co<lv::Status> XlToolstack::WaitForState(sim::ExecCtx ctx, hv::DomainId dom
 
 sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig config) {
   breakdown_ = CreateBreakdown{};
+  // Each creation gets its own trace row; every span below (and every
+  // hypercall/store span further down the call chain) records onto it, so
+  // the Fig. 5 phase breakdown is derivable from the trace alone.
+  trace::Tracer& tracer = trace::Tracer::Get();
+  if (tracer.enabled()) {
+    ctx = ctx.OnTrack(tracer.NewTrack(lv::StrFormat("vm:%s", config.name.c_str())));
+  }
+  trace::Span create_span(ctx.track, "vm.create");
   lv::TimePoint t0 = env_.engine->now();
 
   // --- Config parsing ----------------------------------------------------------
+  trace::Span phase(ctx.track, "create.config");
   co_await ctx.Work(costs_.xl_config_parse);
+  phase.End();
   breakdown_.config = env_.engine->now() - t0;
 
   // --- Toolstack state keeping ---------------------------------------------------
   t0 = env_.engine->now();
+  phase = trace::Span(ctx.track, "create.toolstack");
   co_await ctx.Work(costs_.xl_state_keeping);
   auto domains = co_await env_.hv->ListDomains(ctx);
   if (!domains.ok()) {
@@ -107,10 +119,12 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
   // /var/lib/xl state).
   co_await ctx.Work(costs_.xl_per_domain_overhead *
                     static_cast<double>(domains->size()));
+  phase.End();
   breakdown_.toolstack = env_.engine->now() - t0;
 
   // --- Hypervisor reservation ---------------------------------------------------
   t0 = env_.engine->now();
+  phase = trace::Span(ctx.track, "create.hypervisor");
   auto domid_r = co_await env_.hv->DomainCreate(ctx);
   if (!domid_r.ok()) {
     co_return domid_r.error();
@@ -124,11 +138,14 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
     (void)co_await env_.hv->DomainDestroy(ctx, domid);
     co_return mem.error();
   }
+  phase.End();
   breakdown_.hypervisor = env_.engine->now() - t0;
 
   // --- XenStore records ------------------------------------------------------------
   t0 = env_.engine->now();
+  phase = trace::Span(ctx.track, "create.xenstore");
   lv::Status records = co_await WriteGuestRecords(ctx, domid, config);
+  phase.End();
   breakdown_.xenstore = env_.engine->now() - t0;
   if (!records.ok()) {
     (void)co_await env_.hv->DomainDestroy(ctx, domid);
@@ -137,6 +154,7 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
 
   // --- Devices ----------------------------------------------------------------------
   t0 = env_.engine->now();
+  phase = trace::Span(ctx.track, "create.devices");
   co_await ctx.Work(costs_.misc_device_setup);
   if (config.image.wants_net && env_.netback != nullptr) {
     lv::Status s = co_await env_.netback->XsToolstackCreate(ctx, client_.get(), domid,
@@ -152,16 +170,20 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
       co_return s.error();
     }
   }
+  phase.End();
   breakdown_.devices = env_.engine->now() - t0;
 
   // --- Image build --------------------------------------------------------------------
   t0 = env_.engine->now();
+  phase = trace::Span(ctx.track, "create.load");
   int64_t image_pages = lv::PagesFor(config.image.kernel_size);
   co_await ctx.Work(costs_.image_parse_per_page * static_cast<double>(image_pages));
   (void)co_await env_.hv->CopyToDomain(ctx, domid, config.image.kernel_size);
+  phase.End();
   breakdown_.load = env_.engine->now() - t0;
 
   // --- Boot -------------------------------------------------------------------------
+  phase = trace::Span(ctx.track, "create.boot");
   VmRecord record;
   record.config = config;
   record.core = core;
@@ -172,11 +194,13 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
   TrackVm(domid, std::move(record));
   (void)co_await env_.hv->DomainFinishBuild(ctx, domid);
   (void)co_await env_.hv->DomainUnpause(ctx, domid);
+  phase.End();
   LV_DEBUG(kMod, "created dom%lld (%s)", (long long)domid, config.name.c_str());
   co_return domid;
 }
 
 sim::Co<lv::Status> XlToolstack::Destroy(sim::ExecCtx ctx, hv::DomainId domid) {
+  trace::Span span(ctx.track, "vm.destroy");
   auto it = vms_.find(domid);
   if (it == vms_.end()) {
     co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");
@@ -200,6 +224,7 @@ sim::Co<lv::Status> XlToolstack::Destroy(sim::ExecCtx ctx, hv::DomainId domid) {
 }
 
 sim::Co<lv::Result<Snapshot>> XlToolstack::Save(sim::ExecCtx ctx, hv::DomainId domid) {
+  trace::Span span(ctx.track, "vm.save");
   auto it = vms_.find(domid);
   if (it == vms_.end()) {
     co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");
@@ -239,6 +264,7 @@ sim::Co<lv::Result<Snapshot>> XlToolstack::Save(sim::ExecCtx ctx, hv::DomainId d
 
 sim::Co<lv::Result<hv::DomainId>> XlToolstack::PrepareIncoming(sim::ExecCtx ctx,
                                                                VmConfig config) {
+  trace::Span span(ctx.track, "vm.prepare_incoming");
   co_await ctx.Work(costs_.xl_config_parse + costs_.xl_state_keeping);
   auto domid_r = co_await env_.hv->DomainCreate(ctx);
   if (!domid_r.ok()) {
@@ -272,6 +298,7 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::PrepareIncoming(sim::ExecCtx ctx,
 
 sim::Co<lv::Status> XlToolstack::FinishIncoming(sim::ExecCtx ctx, hv::DomainId domid,
                                                 const Snapshot& snap) {
+  trace::Span span(ctx.track, "vm.finish_incoming");
   auto it = pending_incoming_.find(domid);
   if (it == pending_incoming_.end()) {
     co_return lv::Err(lv::ErrorCode::kNotFound, "no pending incoming domain");
@@ -298,6 +325,7 @@ sim::Co<lv::Status> XlToolstack::FinishIncoming(sim::ExecCtx ctx, hv::DomainId d
 }
 
 sim::Co<lv::Result<hv::DomainId>> XlToolstack::Restore(sim::ExecCtx ctx, Snapshot snap) {
+  trace::Span span(ctx.track, "vm.restore");
   auto domid = co_await PrepareIncoming(ctx, snap.config);
   if (!domid.ok()) {
     co_return domid;

@@ -1,0 +1,119 @@
+#include "src/trace/export.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "src/base/strings.h"
+
+namespace trace {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += lv::StrFormat("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Simulated ns -> trace_event microseconds.
+double ToUs(lv::TimePoint t) { return static_cast<double>(t.ns()) / 1e3; }
+
+}  // namespace
+
+void WriteChromeTrace(const Tracer& tracer, std::ostream& out) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out << "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"lightvm\"}}";
+  const auto& tracks = tracer.tracks();
+  for (size_t tid = 0; tid < tracks.size(); ++tid) {
+    out << lv::StrFormat(",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%zu,"
+                         "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                         tid, JsonEscape(tracks[tid]).c_str());
+    // Sort rows by track id rather than alphabetically.
+    out << lv::StrFormat(",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%zu,"
+                         "\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%zu}}",
+                         tid, tid);
+  }
+  for (const Event& ev : tracer.events()) {
+    switch (ev.type) {
+      case EventType::kBegin:
+        out << lv::StrFormat(",\n{\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                             "\"name\":\"%s\"}",
+                             ev.track, ToUs(ev.ts), JsonEscape(ev.name).c_str());
+        break;
+      case EventType::kEnd:
+        out << lv::StrFormat(",\n{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                             "\"name\":\"%s\"}",
+                             ev.track, ToUs(ev.ts), JsonEscape(ev.name).c_str());
+        break;
+      case EventType::kCounter:
+        out << lv::StrFormat(",\n{\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                             "\"name\":\"%s\",\"args\":{\"value\":%.0f}}",
+                             ev.track, ToUs(ev.ts), JsonEscape(ev.name).c_str(),
+                             ev.value);
+        break;
+      case EventType::kInstant:
+        out << lv::StrFormat(",\n{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                             "\"name\":\"%s\",\"s\":\"t\"}",
+                             ev.track, ToUs(ev.ts), JsonEscape(ev.name).c_str());
+        break;
+    }
+  }
+  out << "\n]}\n";
+}
+
+lv::Status WriteChromeTraceFile(const Tracer& tracer, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return lv::Err(lv::ErrorCode::kUnavailable,
+                   lv::StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  WriteChromeTrace(tracer, out);
+  out.flush();
+  if (!out) {
+    return lv::Err(lv::ErrorCode::kUnavailable,
+                   lv::StrFormat("short write to %s", path.c_str()));
+  }
+  return lv::Status::Ok();
+}
+
+void WriteSummary(const Tracer& tracer, std::ostream& out) {
+  auto stats = tracer.SpanStats();
+  out << lv::StrFormat("%-28s %8s %12s %12s\n", "span", "count", "total_ms", "mean_ms");
+  for (const auto& [name, stat] : stats) {
+    double total_ms = stat.total.ms();
+    out << lv::StrFormat("%-28s %8lld %12.3f %12.3f\n", name.c_str(),
+                         (long long)stat.count, total_ms,
+                         stat.count == 0 ? 0.0 : total_ms / static_cast<double>(stat.count));
+  }
+  if (!tracer.counters().empty()) {
+    out << lv::StrFormat("%-28s %12s\n", "counter", "total");
+    for (const auto& [name, total] : tracer.counters()) {
+      out << lv::StrFormat("%-28s %12.0f\n", name.c_str(), total);
+    }
+  }
+}
+
+}  // namespace trace

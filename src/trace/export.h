@@ -1,0 +1,37 @@
+// Exporters for the tracing layer (src/trace/trace.h). Two formats:
+//
+//  * Chrome trace_event JSON — loadable in chrome://tracing or
+//    https://ui.perfetto.dev. Tracks become threads of one "lightvm"
+//    process, spans become B/E duration events, counters become "C"
+//    counter rows and instants become "i" marks. Timestamps are the
+//    simulated clock converted to microseconds (the format's native unit).
+//  * Plain-text summary — per-span-name count/total/mean plus counter
+//    totals, for quick terminal inspection of where a boot's time went.
+//
+// Clock/threading assumptions match the Tracer's: single-threaded
+// simulation, simulated timestamps, events already in non-decreasing time
+// order (exporters emit them verbatim in recording order).
+//
+// Example:
+//   trace::WriteSummary(trace::Tracer::Get(), std::cout);
+//   lv::Status s = trace::WriteChromeTraceFile(trace::Tracer::Get(), "trace.json");
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/base/result.h"
+#include "src/trace/trace.h"
+
+namespace trace {
+
+// Writes the full Chrome trace_event JSON document to `out`.
+void WriteChromeTrace(const Tracer& tracer, std::ostream& out);
+
+// Same, to a file. Fails if the file cannot be opened or written.
+lv::Status WriteChromeTraceFile(const Tracer& tracer, const std::string& path);
+
+// Writes the per-span-name aggregate table and counter totals to `out`.
+void WriteSummary(const Tracer& tracer, std::ostream& out);
+
+}  // namespace trace

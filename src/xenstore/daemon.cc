@@ -4,11 +4,80 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/trace/trace.h"
 
 namespace xs {
 
 namespace {
 constexpr const char* kMod = "xenstored";
+
+// Static span names per op, so tracing does no formatting on the hot path.
+// Client-side spans cover the whole round trip (marshal -> daemon -> reply);
+// daemon-side spans cover just the serialized processing.
+const char* ClientSpanName(OpType op) {
+  switch (op) {
+    case OpType::kRead:
+      return "xs.read";
+    case OpType::kWrite:
+      return "xs.write";
+    case OpType::kMkdir:
+      return "xs.mkdir";
+    case OpType::kRm:
+      return "xs.rm";
+    case OpType::kDirectory:
+      return "xs.directory";
+    case OpType::kWatch:
+      return "xs.watch";
+    case OpType::kUnwatch:
+      return "xs.unwatch";
+    case OpType::kTxBegin:
+      return "xs.tx_begin";
+    case OpType::kTxCommit:
+      return "xs.tx_commit";
+    case OpType::kTxAbort:
+      return "xs.tx_abort";
+    case OpType::kWriteUniqueName:
+      return "xs.write_unique_name";
+    case OpType::kReleaseClient:
+      return "xs.release_client";
+    case OpType::kStop:
+      return "xs.stop";
+  }
+  return "xs.?";
+}
+
+const char* DaemonSpanName(OpType op) {
+  switch (op) {
+    case OpType::kRead:
+      return "xsd.read";
+    case OpType::kWrite:
+      return "xsd.write";
+    case OpType::kMkdir:
+      return "xsd.mkdir";
+    case OpType::kRm:
+      return "xsd.rm";
+    case OpType::kDirectory:
+      return "xsd.directory";
+    case OpType::kWatch:
+      return "xsd.watch";
+    case OpType::kUnwatch:
+      return "xsd.unwatch";
+    case OpType::kTxBegin:
+      return "xsd.tx_begin";
+    case OpType::kTxCommit:
+      return "xsd.tx_commit";
+    case OpType::kTxAbort:
+      return "xsd.tx_abort";
+    case OpType::kWriteUniqueName:
+      return "xsd.write_unique_name";
+    case OpType::kReleaseClient:
+      return "xsd.release_client";
+    case OpType::kStop:
+      return "xsd.stop";
+  }
+  return "xsd.?";
+}
+
 }  // namespace
 
 Daemon::Daemon(sim::Engine* engine, Costs costs)
@@ -17,6 +86,9 @@ Daemon::Daemon(sim::Engine* engine, Costs costs)
 void Daemon::Start(sim::ExecCtx daemon_ctx) {
   LV_CHECK_MSG(!running_, "daemon already running");
   running_ = true;
+  // The daemon gets its own trace row: all request processing is serialized
+  // through this one coroutine, so its spans nest trivially.
+  daemon_ctx = daemon_ctx.OnTrack(trace::Tracer::Get().NewTrack("xenstored"));
   engine_->Spawn(Run(daemon_ctx));
 }
 
@@ -82,12 +154,15 @@ void Daemon::DeliverWatchHits(const std::vector<WatchHit>& hits) {
       continue;  // Watcher died; drop the event like real xenstored.
     }
     ++stats_.watch_events;
+    trace::Count("xs.watch_events", 1);
     it->second->Send(WatchEvent{hit.watch_path, hit.token, hit.fired_path});
   }
 }
 
 sim::Co<void> Daemon::Process(sim::ExecCtx ctx, Request req) {
   ++stats_.ops;
+  trace::Span span(ctx.track, DaemonSpanName(req.op));
+  trace::Count("xs.ops", 1);
   // Request arrival: daemon-side interrupts + base processing.
   co_await ctx.Work(costs_.soft_interrupt * static_cast<double>(costs_.daemon_interrupts) +
                     costs_.daemon_base);
@@ -164,6 +239,7 @@ sim::Co<void> Daemon::Process(sim::ExecCtx ctx, Request req) {
         resp.error_message = s.error().message;
         if (s.code() == lv::ErrorCode::kConflict) {
           ++stats_.conflicts;
+          trace::Count("xs.conflicts", 1);
         }
       }
       break;
@@ -214,6 +290,7 @@ XsClient::XsClient(sim::Engine* engine, Daemon* daemon, hv::DomainId domid)
 XsClient::~XsClient() { daemon_->UnregisterClient(id_); }
 
 sim::Co<Response> XsClient::Call(sim::ExecCtx ctx, Request req) {
+  trace::Span span(ctx.track, ClientSpanName(req.op));
   const Costs& costs = daemon_->costs();
   req.client = id_;
   req.domid = domid_;
@@ -363,6 +440,7 @@ sim::Co<lv::Status> RunTransaction(sim::ExecCtx ctx, XsClient* client, int max_r
       co_return last;
     }
     // Conflict: pay the whole transaction again, like a real client.
+    trace::Count("xs.txn_retries", 1);
   }
   co_return last;
 }
