@@ -30,6 +30,10 @@ void MemoryAtScale() {
       }
       used[sharing ? 1 : 0] = (host.MemoryUsed() - host.spec().dom0_memory).mib();
     }
+    bench::Point("memory_at_scale", {{"n", static_cast<double>(n)},
+                                     {"baseline_mb", used[0]},
+                                     {"shared_mb", used[1]},
+                                     {"saving_x", used[0] / used[1]}});
     std::printf("%-8d %-16.0f %-16.0f %.1fx\n", n, used[0], used[1], used[0] / used[1]);
   }
 }
@@ -56,13 +60,16 @@ void DensityOnEdgeBox() {
       }
       ++booted;
     }
+    bench::Point(sharing ? "edge_density_shared" : "edge_density_baseline",
+                 {{"max_vms", static_cast<double>(booted)}});
     std::printf("%-12s %d\n", sharing ? "shared" : "baseline", booted);
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report::Get().Init(argc, argv, "ablate_memory_sharing");
   bench::Header("Ablation: page sharing (§9 extension)",
                 "memory de-duplication between VMs of the same image flavor",
                 "75% of each VM's pages shared copy-on-write against a template");
@@ -71,5 +78,6 @@ int main() {
   bench::Footnote("the paper lists memory de-duplication (as in SnowFlock) as an "
                   "optimization avenue; with mostly-idle unikernels the saving "
                   "approaches the shared fraction");
+  bench::Report::Get().Write();
   return 0;
 }

@@ -32,6 +32,9 @@ void PoolSweep() {
       }
       lat.Add(t.create_ms);
     }
+    bench::Point("pool_sweep", {{"pool_target", static_cast<double>(target)},
+                                {"mean_ms", lat.mean()},
+                                {"max_ms", lat.max()}});
     std::printf("%-12d %-12.2f %.2f\n", target, lat.mean(), lat.max());
   }
 }
@@ -49,6 +52,8 @@ void HotplugSweep() {
     }
     bench::CreateTiming t = bench::CreateBootTimed(
         engine, host, bench::Config("vm0", guests::DaytimeUnikernel()));
+    bench::Point(use_xendevd ? "hotplug_xendevd" : "hotplug_bash",
+                 {{"create_ms", t.create_ms}});
     std::printf("%-14s %.2f\n", use_xendevd ? "xendevd" : "bash-scripts", t.create_ms);
   }
 }
@@ -79,6 +84,8 @@ void NoxsTeardownSweep() {
     if (!s.ok()) {
       return;
     }
+    bench::Point(optimized ? "teardown_optimized" : "teardown_unoptimized",
+                 {{"migrate_ms", (engine.now() - t0).ms()}});
     std::printf("%-22s %.1f\n", optimized ? "optimized (future work)" : "unoptimized",
                 (engine.now() - t0).ms());
   }
@@ -86,7 +93,8 @@ void NoxsTeardownSweep() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report::Get().Init(argc, argv, "ablate_toolstack");
   bench::Header("Ablation: toolstack mechanisms",
                 "shell-pool sizing and hotplug mechanism contributions", "4-core model");
   PoolSweep();
@@ -94,5 +102,6 @@ int main() {
   NoxsTeardownSweep();
   bench::Footnote("an empty pool degrades to inline preparation (chaos [NoXS] "
                   "latency); the bash script alone is most of xl's device phase");
+  bench::Report::Get().Write();
   return 0;
 }

@@ -37,7 +37,8 @@ double MeasureAt500(const xs::Costs& store_costs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report::Get().Init(argc, argv, "ablate_xenstore");
   bench::Header("Ablation: XenStore mechanisms",
                 "chaos [XS] creation time of the 500th daytime unikernel",
                 "each row disables one cost source inside the store");
@@ -67,9 +68,12 @@ int main() {
   };
   std::printf("%-20s %s\n", "variant", "create_ms_at_500");
   for (const Variant& v : variants) {
-    std::printf("%-20s %.2f\n", v.name, MeasureAt500(v.costs));
+    double create_ms = MeasureAt500(v.costs);
+    bench::Point(v.name, {{"create_ms_at_500", create_ms}});
+    std::printf("%-20s %.2f\n", v.name, create_ms);
   }
   bench::Footnote("the watch scan and name check drive the growth; logging adds the "
                   "rotation spikes; the interrupt count sets the per-op floor");
+  bench::Report::Get().Write();
   return 0;
 }

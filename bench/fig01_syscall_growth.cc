@@ -5,15 +5,20 @@
 #include "bench/common.h"
 #include "src/guests/syscall_table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report::Get().Init(argc, argv, "fig01_syscall_growth");
   bench::Header("Figure 1", "Linux syscall count by release year (x86_32)",
                 "static dataset, kernel releases 2002-2018");
   std::printf("%-6s %-10s %s\n", "year", "release", "syscalls");
   for (const guests::SyscallRelease& r : guests::LinuxSyscallHistory()) {
     std::printf("%-6d %-10s %d\n", r.year, r.release.c_str(), r.syscalls);
+    bench::Point("syscalls", {{"year", static_cast<double>(r.year)},
+                              {"syscalls", static_cast<double>(r.syscalls)}});
   }
   std::printf("\n# growth: %.1f syscalls/year (linear fit)\n",
               guests::SyscallGrowthPerYear());
+  bench::Report::Get().Config("growth_per_year", guests::SyscallGrowthPerYear());
   bench::Footnote("paper: \"Linux, for instance, has 400 different system calls\"");
+  bench::Report::Get().Write();
   return 0;
 }

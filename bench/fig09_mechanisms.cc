@@ -21,6 +21,9 @@ void Series(lightvm::Mechanisms mechanisms, int total) {
     if (!t.ok) {
       break;
     }
+    bench::Point(mechanisms.label(), {{"n", static_cast<double>(i)},
+                                      {"create_ms", t.create_ms},
+                                      {"boot_ms", t.boot_ms}});
     if (bench::Sample(i, total)) {
       std::printf("%-8d %-14.2f %-10.2f %.2f\n", i, t.create_ms, t.boot_ms,
                   t.create_ms + t.boot_ms);
@@ -30,7 +33,8 @@ void Series(lightvm::Mechanisms mechanisms, int total) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report::Get().Init(argc, argv, "fig09_mechanisms");
   bench::Header("Figure 9", "creation times across the mechanism matrix",
                 "daytime unikernel x1000, 4-core Xeon model (1 Dom0 + 3 guest cores)");
   Series(lightvm::Mechanisms::Xl(), 1000);
@@ -52,9 +56,11 @@ int main() {
     std::printf("\n# noop unikernel, no devices, all optimizations: %.2f ms "
                 "(paper: 2.3 ms)\n",
                 t.create_ms + t.boot_ms);
+    bench::Point("noop_minimum", {{"create_ms", t.create_ms}, {"boot_ms", t.boot_ms}});
   }
   bench::Footnote("paper anchors: xl ~100ms -> ~1s with log-rotation spikes; chaos[XS] "
                   "15->80ms; chaos[XS+split] max ~25ms; chaos[NoXS] 8-15ms; LightVM "
                   "4 -> 4.1ms");
+  bench::Report::Get().Write();
   return 0;
 }

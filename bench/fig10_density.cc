@@ -22,6 +22,9 @@ void LightVmSeries(int total) {
       std::printf("# stopped at n=%d\n", i);
       break;
     }
+    bench::Point("lightvm", {{"n", static_cast<double>(i)},
+                             {"create_ms", t.create_ms},
+                             {"boot_ms", t.boot_ms}});
     if (bench::Sample(i, total, 32)) {
       std::printf("%-8d %.2f\n", i, t.create_ms + t.boot_ms);
     }
@@ -45,6 +48,8 @@ void DockerSeries(int total) {
                   lv::ErrorCodeName(id.code()), i);
       break;
     }
+    bench::Point("docker",
+                 {{"n", static_cast<double>(i)}, {"run_ms", (engine.now() - t0).ms()}});
     if (bench::Sample(i, total, 32)) {
       std::printf("%-8d %.2f\n", i, (engine.now() - t0).ms());
     }
@@ -53,7 +58,8 @@ void DockerSeries(int total) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report::Get().Init(argc, argv, "fig10_density");
   bench::Header("Figure 10", "density: LightVM vs Docker on a 64-core machine",
                 "noop unikernels under chaos+noxs+split vs Docker containers; both "
                 "limited by the 128 GB of RAM");
@@ -61,5 +67,6 @@ int main() {
   DockerSeries(8000);
   bench::Footnote("paper shape: LightVM flat (few ms) to 8000 VMs; Docker 150ms -> ~1s "
                   "with memory-allocation spikes, collapsing around 3000 containers");
+  bench::Report::Get().Write();
   return 0;
 }

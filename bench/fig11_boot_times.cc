@@ -23,6 +23,7 @@ void VmSeries(const char* label, guests::GuestImage image, int total) {
     if (!t.ok) {
       break;
     }
+    bench::Point(label, {{"n", static_cast<double>(i)}, {"boot_ms", t.boot_ms}});
     if (bench::Sample(i, total)) {
       std::printf("%-8d %.1f\n", i, t.boot_ms);
     }
@@ -43,6 +44,8 @@ void DockerSeries(int total) {
     if (!id.ok()) {
       break;
     }
+    bench::Point("docker",
+                 {{"n", static_cast<double>(i)}, {"run_ms", (engine.now() - t0).ms()}});
     if (bench::Sample(i, total)) {
       std::printf("%-8d %.1f\n", i, (engine.now() - t0).ms());
     }
@@ -51,7 +54,8 @@ void DockerSeries(int total) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report::Get().Init(argc, argv, "fig11_boot_times");
   bench::Header("Figure 11", "boot times: unikernel vs Tinyx vs Docker",
                 "4-core Xeon model, LightVM toolstack for the VMs");
   VmSeries("unikernel", guests::DaytimeUnikernel(), 1000);
@@ -59,5 +63,6 @@ int main() {
   DockerSeries(1000);
   bench::Footnote("paper shape: unikernel flat ~ms; Tinyx close to Docker until ~750 "
                   "guests (250/core) then grows with per-core contention; Docker flat");
+  bench::Report::Get().Write();
   return 0;
 }

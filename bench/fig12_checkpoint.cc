@@ -63,6 +63,9 @@ void Series(lightvm::Mechanisms mechanisms, int total) {
       restore_ms.Add((engine.now() - t0).ms());
       running.push_back(*restored);
     }
+    bench::Point(mechanisms.label(), {{"n", static_cast<double>(running.size())},
+                                      {"save_ms", save_ms.mean()},
+                                      {"restore_ms", restore_ms.mean()}});
     std::printf("%-8zu %-12.1f %.1f\n", running.size(), save_ms.mean(),
                 restore_ms.mean());
   }
@@ -70,7 +73,8 @@ void Series(lightvm::Mechanisms mechanisms, int total) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report::Get().Init(argc, argv, "fig12_checkpoint");
   bench::Header("Figure 12", "checkpointing: save and restore times vs number of VMs",
                 "daytime unikernel, 10 random victims per round, ramdisk, 2+2 cores");
   Series(lightvm::Mechanisms::Xl(), 1000);
@@ -78,5 +82,6 @@ int main() {
   Series(lightvm::Mechanisms::LightVm(), 1000);
   bench::Footnote("paper anchors: LightVM ~30ms save / ~20ms restore flat; xl 128ms "
                   "save / 550ms restore, growing with n");
+  bench::Report::Get().Write();
   return 0;
 }

@@ -62,13 +62,16 @@ void Series(lightvm::Mechanisms mechanisms, int total) {
       }
       running.push_back(t.domid);
     }
+    bench::Point(mechanisms.label(), {{"n", static_cast<double>(running.size())},
+                                      {"migrate_ms", migrate_ms.mean()}});
     std::printf("%-8zu %.1f\n", running.size(), migrate_ms.mean());
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report::Get().Init(argc, argv, "fig13_migration");
   bench::Header("Figure 13", "migration times vs number of running VMs",
                 "daytime unikernel, 10 migrations per round, two hosts, 10 Gbps link");
   Series(lightvm::Mechanisms::Xl(), 600);
@@ -77,5 +80,6 @@ int main() {
   Series(lightvm::Mechanisms::LightVm(), 600);
   bench::Footnote("paper anchors: LightVM ~60ms flat; chaos[XS] slightly better at low n "
                   "(noxs device destruction unoptimized); xl grows to seconds");
+  bench::Report::Get().Write();
   return 0;
 }

@@ -20,6 +20,8 @@ void VmSeries(const char* label, guests::GuestImage image, int total) {
       std::printf("# out of memory at n=%d\n", i);
       break;
     }
+    bench::Point(label,
+                 {{"n", static_cast<double>(i)}, {"memory_mb", host.MemoryUsed().mib()}});
     if (bench::Sample(i, total)) {
       std::printf("%-8d %.0f\n", i, host.MemoryUsed().mib());
     }
@@ -39,6 +41,8 @@ void DockerSeries(int total) {
              .ok()) {
       break;
     }
+    bench::Point("docker-micropython",
+                 {{"n", static_cast<double>(i)}, {"memory_mb", docker.MemoryUsed().mib()}});
     if (bench::Sample(i, total)) {
       std::printf("%-8d %.0f\n", i, docker.MemoryUsed().mib());
     }
@@ -55,6 +59,8 @@ void ProcessSeries(int total) {
   std::printf("%-8s %s\n", "n", "memory_mb");
   for (int i = 1; i <= total; ++i) {
     (void)sim::RunToCompletion(engine, procs.ForkExec(ctx));
+    bench::Point("process",
+                 {{"n", static_cast<double>(i)}, {"memory_mb", procs.MemoryUsed().mib()}});
     if (bench::Sample(i, total)) {
       std::printf("%-8d %.0f\n", i, procs.MemoryUsed().mib());
     }
@@ -63,7 +69,8 @@ void ProcessSeries(int total) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report::Get().Init(argc, argv, "fig14_memory");
   bench::Header("Figure 14", "total memory usage vs number of guests",
                 "Micropython workload in each environment, 128 GB host");
   VmSeries("debian-micropython", guests::DebianMicropython(), 1000);
@@ -73,5 +80,6 @@ int main() {
   ProcessSeries(1000);
   bench::Footnote("paper anchors at 1000 guests: Debian ~114 GB, Tinyx ~27 GB, Docker "
                   "~5 GB, Minipython close to Docker, processes lowest");
+  bench::Report::Get().Write();
   return 0;
 }

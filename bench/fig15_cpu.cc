@@ -29,6 +29,8 @@ void VmSeries(const char* label, guests::GuestImage image) {
     // Measure utilization over a 5 s idle window (iostat + xentop style).
     host.StartCpuWindow();
     engine.RunFor(lv::Duration::Seconds(5));
+    bench::Point(label, {{"n", static_cast<double>(target)},
+                         {"cpu_util_pct", host.CpuUtilization() * 100.0}});
     std::printf("%-8d %.2f\n", target, host.CpuUtilization() * 100.0);
   }
 }
@@ -52,13 +54,16 @@ void DockerSeries() {
     }
     cpu.StartWindow();
     engine.RunFor(lv::Duration::Seconds(5));
+    bench::Point("docker", {{"n", static_cast<double>(target)},
+                            {"cpu_util_pct", cpu.WindowUtilization() * 100.0}});
     std::printf("%-8d %.2f\n", target, cpu.WindowUtilization() * 100.0);
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report::Get().Init(argc, argv, "fig15_cpu");
   bench::Header("Figure 15", "CPU utilization with idle guests",
                 "4-core Xeon model; iostat for Dom0 + xentop for guests");
   VmSeries("debian", guests::DebianVm());
@@ -67,5 +72,6 @@ int main() {
   DockerSeries();
   bench::Footnote("paper anchors at 1000 guests: Debian ~25%, Tinyx ~1%, unikernel a "
                   "fraction of a percent above Docker, Docker lowest");
+  bench::Report::Get().Write();
   return 0;
 }

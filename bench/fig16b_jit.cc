@@ -120,14 +120,17 @@ void Series(lv::Duration inter_arrival) {
               inter_arrival.ms(), kClients, answered,
               (long long)host.network_switch().stats().dropped_overload);
   std::printf("%-12s %s\n", "rtt_ms", "cdf");
+  std::string series = lv::StrFormat("inter_arrival_%.0fms", inter_arrival.ms());
   for (const auto& [value, frac] : rtts.Cdf(20)) {
+    bench::Point(series, {{"rtt_ms", value}, {"cdf", frac}});
     std::printf("%-12.1f %.2f\n", value, frac);
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report::Get().Init(argc, argv, "fig16b_jit");
   bench::Header("Figure 16b", "just-in-time instantiation: first-ping RTT CDFs",
                 "boot-on-packet Minipython unikernels over LightVM; clients stream for "
                 "2 s after connecting");
@@ -137,5 +140,6 @@ int main() {
   bench::Footnote("paper shape: low median RTT; at 10 ms inter-arrivals the bridge "
                   "overloads and drops (mostly ARP) packets, so some pings time out "
                   "and the CDF grows a long tail");
+  bench::Report::Get().Write();
   return 0;
 }

@@ -95,7 +95,8 @@ double MeasureBareMetal(int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report::Get().Init(argc, argv, "fig16c_tls");
   bench::Header("Figure 16c", "TLS termination throughput vs number of endpoints",
                 "RSA-1024 handshakes, 14-core Xeon model, closed-loop clients");
   std::printf("%-10s %-14s %-12s %s\n", "endpoints", "bare_metal", "tinyx",
@@ -104,10 +105,15 @@ int main() {
     double bare = MeasureBareMetal(n);
     double tinyx = MeasureVmSeries(guests::TinyxTls(), n);
     double uni = MeasureVmSeries(guests::TlsUnikernel(), n);
+    bench::Point("tls", {{"endpoints", static_cast<double>(n)},
+                         {"bare_metal_rps", bare},
+                         {"tinyx_rps", tinyx},
+                         {"unikernel_rps", uni}});
     std::printf("%-10d %-14.0f %-12.0f %.0f\n", n, bare, tinyx, uni);
   }
   bench::Footnote("paper shape: ~1400 req/s for bare metal and Tinyx (Linux stack); "
                   "the lwip unikernel reaches ~1/5 of that; throughput rises with "
                   "endpoints until the CPUs saturate");
+  bench::Report::Get().Write();
   return 0;
 }

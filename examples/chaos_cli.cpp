@@ -12,6 +12,8 @@
 //   restore <name>            bring a checkpoint back
 //   destroy <name>            destroy a VM
 //   mem                       host memory in use
+//   stats                     dump the live metrics registry (counters,
+//                             gauges, latency histograms)
 //   quit
 //
 //   $ ./build/examples/chaos_cli "create web0 daytime" list "save web0"
@@ -22,6 +24,11 @@
 // load it in chrome://tracing or https://ui.perfetto.dev:
 //
 //   $ ./build/examples/chaos_cli --trace-out=trace.json "create web0 daytime" quit
+//
+// Pass --metrics-out=<file> to write the final metrics-registry snapshot
+// as JSON when the session ends:
+//
+//   $ ./build/examples/chaos_cli --metrics-out=metrics.json "create web0 daytime" quit
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -31,6 +38,8 @@
 
 #include "src/base/strings.h"
 #include "src/core/host.h"
+#include "src/metrics/export.h"
+#include "src/metrics/metrics.h"
 #include "src/sim/run.h"
 #include "src/toolstack/config.h"
 #include "src/trace/export.h"
@@ -79,6 +88,8 @@ class ChaosCli {
       Destroy(name);
     } else if (cmd == "mem") {
       std::printf("memory in use: %s\n", host_.MemoryUsed().ToString().c_str());
+    } else if (cmd == "stats") {
+      metrics::WriteText(metrics::Registry::Get(), std::cout);
     } else {
       std::printf("unknown command: %s\n", cmd.c_str());
     }
@@ -200,6 +211,7 @@ class ChaosCli {
 
 int main(int argc, char** argv) {
   std::string trace_out;
+  std::string metrics_out;
   std::vector<std::string> commands;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -207,6 +219,12 @@ int main(int argc, char** argv) {
       trace_out = arg.substr(std::string("--trace-out=").size());
       if (trace_out.empty()) {
         std::printf("error: --trace-out needs a file name\n");
+        return 1;
+      }
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::string("--metrics-out=").size());
+      if (metrics_out.empty()) {
+        std::printf("error: --metrics-out needs a file name\n");
         return 1;
       }
     } else {
@@ -242,6 +260,14 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote trace to %s (open in chrome://tracing or ui.perfetto.dev)\n",
                 trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    lv::Status written = metrics::WriteJsonFile(metrics::Registry::Get(), metrics_out);
+    if (!written.ok()) {
+      std::printf("error writing metrics: %s\n", written.error().message.c_str());
+      return 1;
+    }
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_*.json results file produced by the bench harness.
+
+Schema checks: the `lightvm-bench/1` envelope (name/title/setup/footnotes/
+config), every series has consistent columns and rectangular points, and the
+embedded metrics-registry snapshot is well formed (histogram bucket counts
+sum to the histogram count, bucket bounds ascend).
+
+Cross-check: the registry's latency histograms are log-bucketed
+approximations; for fig04 the toolstack.xl.create_ms histogram's p50/p99
+must agree with exact quantiles recomputed from the full-resolution series
+points within the documented error bound (1/128, padded to 2% for the
+nearest-rank vs interpolation difference).
+
+Usage:
+  check_metrics_json.py BENCH_foo.json ...   validate existing file(s)
+  check_metrics_json.py --bench <fig04>      run the binary --json=<tmp> and
+                                             validate what it writes, and
+                                             assert its stdout is
+                                             byte-identical with and without
+                                             --json (metrics must never
+                                             perturb the printed figures)
+
+The --bench form is registered as a ctest so the end-to-end path
+(instrumented hot paths -> registry -> bench exporter -> loadable JSON)
+stays green.
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+
+SCHEMA = "lightvm-bench/1"
+# Histogram bound is 1/128 (~0.8%); the harness compares nearest-rank
+# against bucket midpoints, so pad to 2% to absorb the rank-rule slack.
+QUANTILE_TOLERANCE = 0.02
+
+
+def fail(msg):
+    print("FAIL: %s" % msg)
+    sys.exit(1)
+
+
+def check_series(path, name, series):
+    columns = series.get("columns")
+    points = series.get("points")
+    if not isinstance(columns, list) or not columns:
+        fail("%s: series %r has no columns" % (path, name))
+    if not isinstance(points, list) or not points:
+        fail("%s: series %r has no points" % (path, name))
+    for i, row in enumerate(points):
+        if not isinstance(row, list) or len(row) != len(columns):
+            fail("%s: series %r point %d has %d values for %d columns" %
+                 (path, name, i, len(row) if isinstance(row, list) else -1,
+                  len(columns)))
+        for v in row:
+            if not isinstance(v, (int, float)):
+                fail("%s: series %r point %d has non-numeric value %r" %
+                     (path, name, i, v))
+
+
+def check_histogram(path, name, hist):
+    for key in ("count", "sum", "min", "max", "p50", "p90", "p99", "buckets"):
+        if key not in hist:
+            fail("%s: histogram %r missing %r" % (path, name, key))
+    count = hist["count"]
+    buckets = hist["buckets"]
+    in_buckets = sum(b[2] for b in buckets)
+    if in_buckets != count:
+        fail("%s: histogram %r bucket counts sum to %d, count says %d" %
+             (path, name, in_buckets, count))
+    prev_hi = None
+    for lo, hi, n in buckets:
+        hi_val = math.inf if hi in ("+inf", None) else hi
+        if n <= 0:
+            fail("%s: histogram %r exports an empty bucket" % (path, name))
+        if hi_val <= lo and not (lo == 0 and hi_val == 0):
+            fail("%s: histogram %r bucket [%r, %r] is inverted" %
+                 (path, name, lo, hi))
+        if prev_hi is not None and lo < prev_hi:
+            fail("%s: histogram %r buckets overlap at lo=%r" % (path, name, lo))
+        prev_hi = hi_val
+    if count > 0 and not hist["min"] <= hist["p50"] <= hist["p99"] <= hist["max"]:
+        fail("%s: histogram %r quantiles not ordered: min=%r p50=%r p99=%r "
+             "max=%r" % (path, name, hist["min"], hist["p50"], hist["p99"],
+                         hist["max"]))
+
+
+def nearest_rank(sorted_xs, q):
+    rank = int(q * (len(sorted_xs) - 1) + 0.5)
+    return sorted_xs[rank]
+
+
+def cross_check_create_ms(path, doc):
+    """fig04: histogram quantiles vs exact quantiles from the series points."""
+    hist = doc["metrics"]["histograms"].get("toolstack.xl.create_ms")
+    if hist is None:
+        fail("%s: no toolstack.xl.create_ms histogram in the snapshot" % path)
+    create_ms = []
+    for name, series in doc["series"].items():
+        if "create_ms" not in series["columns"]:
+            continue
+        idx = series["columns"].index("create_ms")
+        create_ms.extend(row[idx] for row in series["points"])
+    if len(create_ms) != hist["count"]:
+        fail("%s: %d create_ms points in the series but the histogram saw %d "
+             "creates" % (path, len(create_ms), hist["count"]))
+    create_ms.sort()
+    for q, key in ((0.5, "p50"), (0.99, "p99")):
+        exact = nearest_rank(create_ms, q)
+        approx = hist[key]
+        rel = abs(approx - exact) / exact
+        if rel > QUANTILE_TOLERANCE:
+            fail("%s: %s=%.3f vs exact %.3f — relative error %.4f exceeds "
+                 "%.4f" % (path, key, approx, exact, rel, QUANTILE_TOLERANCE))
+        print("OK: %s %.3f vs exact %.3f (rel err %.4f)" %
+              (key, approx, exact, rel))
+
+
+def validate(path, expect_fig04=False):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail("%s: %s" % (path, e))
+
+    if doc.get("schema") != SCHEMA:
+        fail("%s: schema is %r, want %r" % (path, doc.get("schema"), SCHEMA))
+    for key, kind in (("name", str), ("title", str), ("setup", str),
+                      ("footnotes", list), ("config", dict), ("series", dict),
+                      ("metrics", dict)):
+        if not isinstance(doc.get(key), kind):
+            fail("%s: missing or mistyped %r (want %s)" %
+                 (path, key, kind.__name__))
+    if not doc["series"]:
+        fail("%s: no series recorded" % path)
+    for name, series in doc["series"].items():
+        check_series(path, name, series)
+
+    metrics = doc["metrics"]
+    for key in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(key), dict):
+            fail("%s: metrics snapshot missing %r" % (path, key))
+    for name, hist in metrics["histograms"].items():
+        check_histogram(path, name, hist)
+
+    n_points = sum(len(s["points"]) for s in doc["series"].values())
+    print("OK: %s (%d series, %d points, %d counters, %d histograms)" %
+          (path, len(doc["series"]), n_points, len(metrics["counters"]),
+           len(metrics["histograms"])))
+
+    if expect_fig04:
+        cross_check_create_ms(path, doc)
+
+
+def run_bench(bench):
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "BENCH.json")
+        # Run once plain and once with --json: the printed tables must be
+        # byte-identical (always-on metrics may not perturb any figure).
+        plain = subprocess.run([bench], stdout=subprocess.PIPE)
+        if plain.returncode != 0:
+            fail("%s exited %d" % (bench, plain.returncode))
+        with_json = subprocess.run([bench, "--json=%s" % out],
+                                   stdout=subprocess.PIPE)
+        if with_json.returncode != 0:
+            fail("%s --json exited %d" % (bench, with_json.returncode))
+        if plain.stdout != with_json.stdout:
+            fail("%s: stdout differs with vs without --json" % bench)
+        print("OK: stdout byte-identical with and without --json")
+        is_fig04 = "fig04" in os.path.basename(bench)
+        validate(out, expect_fig04=is_fig04)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="BENCH JSON files to validate")
+    parser.add_argument("--bench", help="path to a bench binary; runs it "
+                        "with --json first")
+    args = parser.parse_args()
+    if not args.files and not args.bench:
+        parser.error("give BENCH files and/or --bench")
+
+    for path in args.files:
+        validate(path, expect_fig04="fig04" in os.path.basename(path))
+
+    if args.bench:
+        run_bench(args.bench)
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,6 @@ void Accumulator::Add(double x) {
     max_ = std::max(max_, x);
   }
   ++n_;
-  sum_ += x;
   double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);

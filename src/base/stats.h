@@ -13,23 +13,25 @@
 
 namespace lv {
 
-// Running mean/min/max/stddev without storing samples.
+// Running mean/min/max/stddev without storing samples, via Welford's online
+// algorithm (numerically stable: no catastrophic cancellation for large
+// same-sign samples, unlike the naive sum/sum-of-squares form).
 class Accumulator {
  public:
   void Add(double x);
 
   int64_t count() const { return n_; }
-  double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  double mean() const { return mean_; }
   double min() const { return n_ == 0 ? 0.0 : min_; }
   double max() const { return n_ == 0 ? 0.0 : max_; }
+  // Sample (n-1) variance.
   double variance() const;
   double stddev() const { return std::sqrt(variance()); }
 
  private:
   int64_t n_ = 0;
-  double sum_ = 0.0;
-  double m2_ = 0.0;  // Welford running sum of squared deviations.
-  double mean_ = 0.0;
+  double mean_ = 0.0;  // Welford running mean.
+  double m2_ = 0.0;    // Welford running sum of squared deviations.
   double min_ = 0.0;
   double max_ = 0.0;
 };

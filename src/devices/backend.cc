@@ -5,8 +5,19 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/metrics/metrics.h"
 
 namespace xdev {
+
+namespace {
+// Simulated latency from the toolstack announcing a device to the back-end
+// being attached (ready + hotplugged), across both the XenStore and noxs
+// paths.
+metrics::Histogram& AttachHistogram() {
+  static metrics::Histogram& h = metrics::GetHistogram("devices.backend.attach_ms", "ms");
+  return h;
+}
+}  // namespace
 
 namespace {
 constexpr const char* kMod = "backend";
@@ -272,6 +283,7 @@ sim::Co<void> BackendDriver::XsBackendClose(sim::ExecCtx ctx, hv::DomainId domid
 sim::Co<lv::Status> BackendDriver::XsToolstackCreate(sim::ExecCtx ctx, xs::XsClient* client,
                                                      hv::DomainId domid,
                                                      HotplugRunner* inline_hotplug) {
+  lv::TimePoint attach_start = engine_->now();
   Instance& inst = GetOrCreate(domid);
   std::string be = BackendDir(domid);
   std::string fe = FrontendDir(domid);
@@ -311,6 +323,9 @@ sim::Co<lv::Status> BackendDriver::XsToolstackCreate(sim::ExecCtx ctx, xs::XsCli
     // xl runs the hotplug script synchronously during creation (§5.3).
     co_await DoHotplug(ctx, inline_hotplug, domid);
   }
+  static metrics::Counter& attaches = metrics::GetCounter("devices.backend.attaches");
+  attaches.Inc();
+  AttachHistogram().RecordDuration(engine_->now() - attach_start);
   co_return lv::Status::Ok();
 }
 
@@ -378,6 +393,7 @@ sim::Co<lv::Result<hv::DeviceInfo>> BackendDriver::NoxsCreate(sim::ExecCtx ctx,
                                                               hv::DomainId domid) {
   // Fig. 7b step 1: ioctl into the noxs kernel module; the back-end sets the
   // device up and returns the communication-channel details directly.
+  lv::TimePoint attach_start = engine_->now();
   co_await ctx.Work(costs_->ioctl + costs_->backend_init);
   Instance& inst = GetOrCreate(domid);
   inst.via_noxs = true;
@@ -412,6 +428,9 @@ sim::Co<lv::Result<hv::DeviceInfo>> BackendDriver::NoxsCreate(sim::ExecCtx ctx,
   }
   ++stats_.created;
   inst.ready->Trigger();
+  static metrics::Counter& attaches = metrics::GetCounter("devices.backend.attaches");
+  attaches.Inc();
+  AttachHistogram().RecordDuration(engine_->now() - attach_start);
   hv::DeviceInfo info;
   info.type = type_;
   info.backend_domid = hv::kDom0;

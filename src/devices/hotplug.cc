@@ -1,24 +1,37 @@
 #include "src/devices/hotplug.h"
 
+#include "src/metrics/metrics.h"
+
 namespace xdev {
 
+// Both online and offline invocations count: each is one fork/exec of the
+// script (or one xendevd binary dispatch).
+
 sim::Co<void> BashHotplug::Setup(sim::ExecCtx ctx, hv::DeviceType type) {
+  static metrics::Counter& runs = metrics::GetCounter("devices.hotplug.bash_runs");
+  runs.Inc();
   co_await ctx.Work(type == hv::DeviceType::kBlock ? costs_->bash_block_setup
                                                    : costs_->bash_hotplug);
 }
 
 sim::Co<void> BashHotplug::Teardown(sim::ExecCtx ctx, hv::DeviceType type) {
   // Teardown runs the same script with "offline"; same fork/exec cost class.
+  static metrics::Counter& runs = metrics::GetCounter("devices.hotplug.bash_runs");
+  runs.Inc();
   co_await ctx.Work(type == hv::DeviceType::kBlock ? costs_->bash_block_setup
                                                    : costs_->bash_hotplug);
 }
 
 sim::Co<void> Xendevd::Setup(sim::ExecCtx ctx, hv::DeviceType type) {
+  static metrics::Counter& runs = metrics::GetCounter("devices.hotplug.xendevd_runs");
+  runs.Inc();
   co_await ctx.Work(type == hv::DeviceType::kBlock ? costs_->xendevd_block_setup
                                                    : costs_->xendevd_setup);
 }
 
 sim::Co<void> Xendevd::Teardown(sim::ExecCtx ctx, hv::DeviceType type) {
+  static metrics::Counter& runs = metrics::GetCounter("devices.hotplug.xendevd_runs");
+  runs.Inc();
   co_await ctx.Work(type == hv::DeviceType::kBlock ? costs_->xendevd_block_setup
                                                    : costs_->xendevd_setup);
 }

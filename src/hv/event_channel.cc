@@ -1,6 +1,7 @@
 #include "src/hv/event_channel.h"
 
 #include "src/base/strings.h"
+#include "src/metrics/metrics.h"
 
 namespace hv {
 
@@ -64,9 +65,13 @@ sim::Co<lv::Status> EventChannelTable::Notify(sim::ExecCtx ctx, Port port, Domai
     co_return lv::Err(lv::ErrorCode::kPermissionDenied, "not an endpoint");
   }
   ++notifications_;
+  static metrics::Counter& sends = metrics::GetCounter("hv.event_channel.sends");
+  sends.Inc();
   if (*handler) {
     // Deliver the virtual IRQ after the injection latency. Copy the handler:
     // the channel may be closed before delivery.
+    static metrics::Counter& deliveries = metrics::GetCounter("hv.event_channel.deliveries");
+    deliveries.Inc();
     std::function<void()> h = *handler;
     engine_->Schedule(costs_->event_delivery, [h] { h(); });
   }

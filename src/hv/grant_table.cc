@@ -1,6 +1,7 @@
 #include "src/hv/grant_table.h"
 
 #include "src/base/strings.h"
+#include "src/metrics/metrics.h"
 
 namespace hv {
 
@@ -24,6 +25,8 @@ lv::Status GrantTable::Map(DomainId mapper, GrantRef ref) {
     return lv::Err(lv::ErrorCode::kAlreadyExists, "grant already mapped");
   }
   it->second.mapped = true;
+  static metrics::Counter& maps = metrics::GetCounter("hv.grant_table.maps");
+  maps.Inc();
   return lv::Status::Ok();
 }
 
@@ -36,6 +39,8 @@ lv::Status GrantTable::Unmap(DomainId mapper, GrantRef ref) {
     return lv::Err(lv::ErrorCode::kInvalidArgument, "not mapped by this domain");
   }
   it->second.mapped = false;
+  static metrics::Counter& unmaps = metrics::GetCounter("hv.grant_table.unmaps");
+  unmaps.Inc();
   return lv::Status::Ok();
 }
 

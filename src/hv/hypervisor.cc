@@ -2,12 +2,19 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/trace.h"
 
 namespace hv {
 
 namespace {
 constexpr const char* kMod = "hv";
+
+// Per-hypercall-type counter, cached per call site (the static-handle idiom
+// from src/metrics/metrics.h).
+metrics::Counter& HypercallCounter(const char* op) {
+  return metrics::GetCounter(std::string("hv.hypervisor.hypercalls.") + op);
+}
 }  // namespace
 
 const char* DomainStateName(DomainState state) {
@@ -71,6 +78,11 @@ int64_t Hypervisor::NumDomainsInState(DomainState state) const {
 sim::Co<void> Hypervisor::HypercallEntry(sim::ExecCtx ctx) {
   ++stats_.hypercalls;
   trace::Count("hv.hypercalls", 1);
+  // Every hypercall is a guest->hypervisor->guest privilege transition.
+  static metrics::Counter& hypercalls = metrics::GetCounter("hv.hypervisor.hypercalls");
+  static metrics::Counter& crossings = metrics::GetCounter("hv.hypervisor.domain_crossings");
+  hypercalls.Inc();
+  crossings.Inc();
   co_await ctx.Work(costs_.hypercall);
 }
 
@@ -84,16 +96,22 @@ lv::Result<Domain*> Hypervisor::Lookup(DomainId id) {
 
 sim::Co<lv::Result<DomainId>> Hypervisor::DomainCreate(sim::ExecCtx ctx) {
   trace::Span span(ctx.track, "hv.domain_create");
+  static metrics::Counter& hc = HypercallCounter("domain_create");
+  static metrics::Counter& created = metrics::GetCounter("hv.hypervisor.domains_created");
+  hc.Inc();
   co_await HypercallEntry(ctx);
   co_await ctx.Work(costs_.domain_create);
   DomainId id = next_id_++;
   domains_.emplace(id, std::make_unique<Domain>(id, engine_->now()));
   ++stats_.domains_created;
+  created.Inc();
   LV_DEBUG(kMod, "created dom%lld", (long long)id);
   co_return id;
 }
 
 sim::Co<lv::Status> Hypervisor::DomainSetMaxMem(sim::ExecCtx ctx, DomainId id, lv::Bytes max) {
+  static metrics::Counter& hc = HypercallCounter("set_max_mem");
+  hc.Inc();
   co_await HypercallEntry(ctx);
   auto dom = Lookup(id);
   if (!dom.ok()) {
@@ -106,6 +124,9 @@ sim::Co<lv::Status> Hypervisor::DomainSetMaxMem(sim::ExecCtx ctx, DomainId id, l
 sim::Co<lv::Status> Hypervisor::PopulatePhysmap(sim::ExecCtx ctx, DomainId id,
                                                 lv::Bytes bytes) {
   trace::Span span(ctx.track, "hv.populate_physmap");
+  static metrics::Counter& hc = HypercallCounter("populate_physmap");
+  static metrics::Counter& populated = metrics::GetCounter("hv.memory.pages_populated");
+  hc.Inc();
   co_await HypercallEntry(ctx);
   auto dom = Lookup(id);
   if (!dom.ok()) {
@@ -118,6 +139,7 @@ sim::Co<lv::Status> Hypervisor::PopulatePhysmap(sim::ExecCtx ctx, DomainId id,
   }
   (*dom)->add_reserved_pages(pages);
   trace::Count("hv.pages_populated", static_cast<double>(pages));
+  populated.Inc(static_cast<double>(pages));
   co_await ctx.Work(costs_.per_page_populate * static_cast<double>(pages));
   co_return lv::Status::Ok();
 }
@@ -127,6 +149,9 @@ sim::Co<lv::Status> Hypervisor::PopulatePhysmapShared(sim::ExecCtx ctx, DomainId
                                                       const std::string& template_key,
                                                       double shared_fraction) {
   trace::Span span(ctx.track, "hv.populate_physmap");
+  static metrics::Counter& hc = HypercallCounter("populate_physmap_shared");
+  static metrics::Counter& populated = metrics::GetCounter("hv.memory.pages_populated");
+  hc.Inc();
   co_await HypercallEntry(ctx);
   auto dom = Lookup(id);
   if (!dom.ok()) {
@@ -152,10 +177,12 @@ sim::Co<lv::Status> Hypervisor::PopulatePhysmapShared(sim::ExecCtx ctx, DomainId
     // Mapping existing read-only pages is cheap; only private pages are
     // populated.
     trace::Count("hv.pages_populated", static_cast<double>(private_pages));
+    populated.Inc(static_cast<double>(private_pages));
     co_await ctx.Work(costs_.per_page_populate * static_cast<double>(private_pages));
   } else {
     templates_.emplace(template_key, SharedTemplate{shared_pages, 1});
     trace::Count("hv.pages_populated", static_cast<double>(total_pages));
+    populated.Inc(static_cast<double>(total_pages));
     co_await ctx.Work(costs_.per_page_populate * static_cast<double>(total_pages));
   }
   (*dom)->add_reserved_pages(private_pages);
@@ -174,6 +201,8 @@ int64_t Hypervisor::shared_template_pages() const {
 sim::Co<lv::Status> Hypervisor::VcpuInit(sim::ExecCtx ctx, DomainId id,
                                          std::vector<int> cores) {
   trace::Span span(ctx.track, "hv.vcpu_init");
+  static metrics::Counter& hc = HypercallCounter("vcpu_init");
+  hc.Inc();
   co_await HypercallEntry(ctx);
   auto dom = Lookup(id);
   if (!dom.ok()) {
@@ -189,12 +218,16 @@ sim::Co<lv::Status> Hypervisor::VcpuInit(sim::ExecCtx ctx, DomainId id,
 
 sim::Co<lv::Status> Hypervisor::CopyToDomain(sim::ExecCtx ctx, DomainId id, lv::Bytes bytes) {
   trace::Span span(ctx.track, "hv.copy_to_domain");
+  static metrics::Counter& hc = HypercallCounter("copy_to_domain");
+  static metrics::Counter& copied = metrics::GetCounter("hv.hypervisor.bytes_copied");
+  hc.Inc();
   co_await HypercallEntry(ctx);
   auto dom = Lookup(id);
   if (!dom.ok()) {
     co_return dom.error();
   }
   trace::Count("hv.bytes_copied", static_cast<double>(bytes.count()));
+  copied.Inc(static_cast<double>(bytes.count()));
   co_await ctx.Work(costs_.per_page_copy * static_cast<double>(lv::PagesFor(bytes)));
   co_return lv::Status::Ok();
 }
@@ -202,18 +235,24 @@ sim::Co<lv::Status> Hypervisor::CopyToDomain(sim::ExecCtx ctx, DomainId id, lv::
 sim::Co<lv::Status> Hypervisor::CopyFromDomain(sim::ExecCtx ctx, DomainId id,
                                                lv::Bytes bytes) {
   trace::Span span(ctx.track, "hv.copy_from_domain");
+  static metrics::Counter& hc = HypercallCounter("copy_from_domain");
+  static metrics::Counter& copied = metrics::GetCounter("hv.hypervisor.bytes_copied");
+  hc.Inc();
   co_await HypercallEntry(ctx);
   auto dom = Lookup(id);
   if (!dom.ok()) {
     co_return dom.error();
   }
   trace::Count("hv.bytes_copied", static_cast<double>(bytes.count()));
+  copied.Inc(static_cast<double>(bytes.count()));
   co_await ctx.Work(costs_.per_page_copy * static_cast<double>(lv::PagesFor(bytes)));
   co_return lv::Status::Ok();
 }
 
 sim::Co<lv::Status> Hypervisor::DomainFinishBuild(sim::ExecCtx ctx, DomainId id) {
   trace::Span span(ctx.track, "hv.finish_build");
+  static metrics::Counter& hc = HypercallCounter("finish_build");
+  hc.Inc();
   co_await HypercallEntry(ctx);
   auto dom = Lookup(id);
   if (!dom.ok()) {
@@ -228,6 +267,8 @@ sim::Co<lv::Status> Hypervisor::DomainFinishBuild(sim::ExecCtx ctx, DomainId id)
 }
 
 sim::Co<lv::Status> Hypervisor::DomainPause(sim::ExecCtx ctx, DomainId id) {
+  static metrics::Counter& hc = HypercallCounter("pause");
+  hc.Inc();
   co_await HypercallEntry(ctx);
   auto dom = Lookup(id);
   if (!dom.ok()) {
@@ -242,6 +283,8 @@ sim::Co<lv::Status> Hypervisor::DomainPause(sim::ExecCtx ctx, DomainId id) {
 
 sim::Co<lv::Status> Hypervisor::DomainUnpause(sim::ExecCtx ctx, DomainId id) {
   trace::Span span(ctx.track, "hv.unpause");
+  static metrics::Counter& hc = HypercallCounter("unpause");
+  hc.Inc();
   co_await HypercallEntry(ctx);
   auto dom_r = Lookup(id);
   if (!dom_r.ok()) {
@@ -264,6 +307,8 @@ sim::Co<lv::Status> Hypervisor::DomainUnpause(sim::ExecCtx ctx, DomainId id) {
 
 sim::Co<lv::Status> Hypervisor::DomainShutdown(sim::ExecCtx ctx, DomainId id,
                                                ShutdownReason reason) {
+  static metrics::Counter& hc = HypercallCounter("shutdown");
+  hc.Inc();
   co_await HypercallEntry(ctx);
   auto dom = Lookup(id);
   if (!dom.ok()) {
@@ -280,6 +325,9 @@ sim::Co<lv::Status> Hypervisor::DomainShutdown(sim::ExecCtx ctx, DomainId id,
 
 sim::Co<lv::Status> Hypervisor::DomainDestroy(sim::ExecCtx ctx, DomainId id) {
   trace::Span span(ctx.track, "hv.domain_destroy");
+  static metrics::Counter& hc = HypercallCounter("domain_destroy");
+  static metrics::Counter& destroyed = metrics::GetCounter("hv.hypervisor.domains_destroyed");
+  hc.Inc();
   co_await HypercallEntry(ctx);
   auto dom_r = Lookup(id);
   if (!dom_r.ok()) {
@@ -300,11 +348,14 @@ sim::Co<lv::Status> Hypervisor::DomainDestroy(sim::ExecCtx ctx, DomainId id) {
   }
   domains_.erase(id);
   ++stats_.domains_destroyed;
+  destroyed.Inc();
   LV_DEBUG(kMod, "destroyed dom%lld", (long long)id);
   co_return lv::Status::Ok();
 }
 
 sim::Co<lv::Result<DomainInfo>> Hypervisor::DomainGetInfo(sim::ExecCtx ctx, DomainId id) {
+  static metrics::Counter& hc = HypercallCounter("get_info");
+  hc.Inc();
   co_await HypercallEntry(ctx);
   auto dom = Lookup(id);
   if (!dom.ok()) {
@@ -321,6 +372,8 @@ sim::Co<lv::Result<DomainInfo>> Hypervisor::DomainGetInfo(sim::ExecCtx ctx, Doma
 
 sim::Co<lv::Result<std::vector<DomainInfo>>> Hypervisor::ListDomains(sim::ExecCtx ctx) {
   trace::Span span(ctx.track, "hv.list_domains");
+  static metrics::Counter& hc = HypercallCounter("list_domains");
+  hc.Inc();
   co_await HypercallEntry(ctx);
   co_await ctx.Work(costs_.per_domain_list * static_cast<double>(domains_.size()));
   std::vector<DomainInfo> out;
@@ -339,6 +392,8 @@ sim::Co<lv::Result<std::vector<DomainInfo>>> Hypervisor::ListDomains(sim::ExecCt
 
 sim::Co<lv::Result<int>> Hypervisor::DevicePageWrite(sim::ExecCtx ctx, DomainId caller,
                                                      DomainId id, const DeviceInfo& info) {
+  static metrics::Counter& hc = HypercallCounter("device_page_write");
+  hc.Inc();
   co_await HypercallEntry(ctx);
   if (caller != kDom0) {
     co_return lv::Err(lv::ErrorCode::kPermissionDenied,
@@ -359,6 +414,8 @@ sim::Co<lv::Result<int>> Hypervisor::DevicePageWrite(sim::ExecCtx ctx, DomainId 
 
 sim::Co<lv::Result<std::vector<DeviceInfo>>> Hypervisor::DevicePageRead(sim::ExecCtx ctx,
                                                                         DomainId id) {
+  static metrics::Counter& hc = HypercallCounter("device_page_read");
+  hc.Inc();
   co_await HypercallEntry(ctx);
   auto dom = Lookup(id);
   if (!dom.ok()) {

@@ -1,6 +1,7 @@
 #include "src/hv/memory.h"
 
 #include "src/base/strings.h"
+#include "src/metrics/metrics.h"
 
 namespace hv {
 
@@ -12,6 +13,8 @@ lv::Status MemoryPool::Reserve(int64_t pages) {
                                  (long long)free_pages()));
   }
   used_pages_ += pages;
+  static metrics::Gauge& in_use = metrics::GetGauge("hv.memory.pages_in_use");
+  in_use.Add(static_cast<double>(pages));
   return lv::Status::Ok();
 }
 
@@ -19,6 +22,8 @@ void MemoryPool::Release(int64_t pages) {
   LV_CHECK(pages >= 0);
   LV_CHECK_MSG(pages <= used_pages_, "releasing more pages than reserved");
   used_pages_ -= pages;
+  static metrics::Gauge& in_use = metrics::GetGauge("hv.memory.pages_in_use");
+  in_use.Add(-static_cast<double>(pages));
 }
 
 }  // namespace hv

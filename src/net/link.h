@@ -6,6 +6,7 @@
 
 #include "src/base/time.h"
 #include "src/base/units.h"
+#include "src/metrics/metrics.h"
 #include "src/sim/engine.h"
 
 namespace xnet {
@@ -45,6 +46,10 @@ class TcpConnection {
   sim::Co<void> Send(lv::Bytes bytes) {
     LV_CHECK_MSG(connected_, "send on unconnected TCP connection");
     bytes_sent_ += bytes;
+    static metrics::Counter& sends = metrics::GetCounter("net.link.sends");
+    static metrics::Counter& sent = metrics::GetCounter("net.link.bytes_sent");
+    sends.Inc();
+    sent.Inc(static_cast<double>(bytes.count()));
     co_await link_->engine()->Sleep(link_->SerializationDelay(bytes) + link_->rtt() / 2.0);
   }
 

@@ -2,6 +2,7 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/trace.h"
 
 namespace toolstack {
@@ -33,9 +34,13 @@ sim::Co<lv::Result<Shell>> ChaosToolstack::ObtainShell(sim::ExecCtx ctx,
     std::optional<Shell> pooled = daemon_->TryTake(config.image.memory,
                                                    config.image.wants_net);
     if (pooled.has_value()) {
+      static metrics::Counter& hits = metrics::GetCounter("toolstack.chaos.shell_pool_hits");
+      hits.Inc();
       co_return *pooled;
     }
     // Pool miss: fall back to inline preparation (and let the daemon refill).
+    static metrics::Counter& misses = metrics::GetCounter("toolstack.chaos.shell_pool_misses");
+    misses.Inc();
   }
   co_return co_await PrepareShell(env_, costs_, ctx, config.image.memory,
                                   config.image.wants_net, use_noxs_, client_.get());
@@ -137,7 +142,8 @@ sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::Create(sim::ExecCtx ctx, VmCon
     ctx = ctx.OnTrack(tracer.NewTrack(lv::StrFormat("vm:%s", config.name.c_str())));
   }
   trace::Span create_span(ctx.track, "vm.create");
-  lv::TimePoint t0 = env_.engine->now();
+  lv::TimePoint create_start = env_.engine->now();
+  lv::TimePoint t0 = create_start;
   trace::Span phase(ctx.track, "create.config");
   co_await ctx.Work(costs_.chaos_config_parse);
   phase.End();
@@ -165,6 +171,9 @@ sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::Create(sim::ExecCtx ctx, VmCon
     co_return exec.error();
   }
   co_await BootGuest(ctx, *shell, config, /*resume=*/false);
+  static metrics::Histogram& create_ms =
+      metrics::GetHistogram("toolstack.chaos.create_ms", "ms");
+  create_ms.RecordDuration(env_.engine->now() - create_start);
   LV_DEBUG(kMod, "created dom%lld (%s)", (long long)shell->domid, config.name.c_str());
   co_return shell->domid;
 }
@@ -231,6 +240,7 @@ sim::Co<lv::Status> ChaosToolstack::SuspendForMigration(sim::ExecCtx ctx,
 
 sim::Co<lv::Result<Snapshot>> ChaosToolstack::Save(sim::ExecCtx ctx, hv::DomainId domid) {
   trace::Span span(ctx.track, "vm.save");
+  lv::TimePoint save_start = env_.engine->now();
   auto it = vms_.find(domid);
   if (it == vms_.end()) {
     co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");
@@ -246,6 +256,8 @@ sim::Co<lv::Result<Snapshot>> ChaosToolstack::Save(sim::ExecCtx ctx, hv::DomainI
   (void)co_await DestroyDevices(ctx, domid, config);
   (void)co_await env_.hv->DomainDestroy(ctx, domid);
   UntrackVm(domid);
+  static metrics::Histogram& save_ms = metrics::GetHistogram("toolstack.chaos.save_ms", "ms");
+  save_ms.RecordDuration(env_.engine->now() - save_start);
   lv::Bytes memory = config.image.memory;
   co_return Snapshot{std::move(config), memory};
 }
@@ -295,6 +307,7 @@ sim::Co<lv::Status> ChaosToolstack::TeardownAfterMigration(sim::ExecCtx ctx,
 
 sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::Restore(sim::ExecCtx ctx, Snapshot snap) {
   trace::Span span(ctx.track, "vm.restore");
+  lv::TimePoint restore_start = env_.engine->now();
   auto domid = co_await PrepareIncoming(ctx, snap.config);
   if (!domid.ok()) {
     co_return domid;
@@ -303,6 +316,9 @@ sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::Restore(sim::ExecCtx ctx, Snap
   if (!finished.ok()) {
     co_return finished.error();
   }
+  static metrics::Histogram& restore_ms =
+      metrics::GetHistogram("toolstack.chaos.restore_ms", "ms");
+  restore_ms.RecordDuration(env_.engine->now() - restore_start);
   co_return *domid;
 }
 

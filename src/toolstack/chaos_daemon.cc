@@ -2,6 +2,7 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/trace.h"
 
 namespace toolstack {
@@ -149,6 +150,10 @@ sim::Co<void> ChaosDaemon::RefillLoop(sim::ExecCtx ctx) {
     if (shell.ok()) {
       pool_.push_back(*shell);
       ++shells_built_;
+      static metrics::Counter& built = metrics::GetCounter("toolstack.chaosd.shells_built");
+      static metrics::Gauge& pooled = metrics::GetGauge("toolstack.chaosd.pool_size");
+      built.Inc();
+      pooled.Set(static_cast<double>(pool_.size()));
       LV_DEBUG(kMod, "pooled shell dom%lld (%lld pooled)", (long long)shell->domid,
                (long long)pool_.size());
     } else {
@@ -162,6 +167,8 @@ std::optional<Shell> ChaosDaemon::TryTake(lv::Bytes memory, bool wants_net) {
     if (it->memory == memory && it->has_net == wants_net) {
       Shell shell = *it;
       pool_.erase(it);
+      static metrics::Gauge& pooled = metrics::GetGauge("toolstack.chaosd.pool_size");
+      pooled.Set(static_cast<double>(pool_.size()));
       if (running_) {
         work_->Release();  // Refill in the background.
       }

@@ -1,6 +1,7 @@
 #include "src/toolstack/migration.h"
 
 #include "src/base/log.h"
+#include "src/metrics/metrics.h"
 
 namespace toolstack {
 
@@ -11,6 +12,7 @@ sim::Co<lv::Status> Migrate(Toolstack* local, sim::ExecCtx local_ctx, hv::Domain
     co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");
   }
   VmConfig config = *config_ptr;
+  lv::TimePoint migrate_start = local->env().engine->now();
 
   // Open the TCP connection to the remote migration daemon and stream the
   // guest configuration.
@@ -33,7 +35,18 @@ sim::Co<lv::Status> Migrate(Toolstack* local, sim::ExecCtx local_ctx, hv::Domain
   }
   lv::Bytes memory = config.image.memory;
   (void)co_await local->env().hv->CopyFromDomain(local_ctx, domid, memory);
+  lv::TimePoint stream_start = local->env().engine->now();
   co_await conn.Send(memory);
+  lv::Duration stream_time = local->env().engine->now() - stream_start;
+  static metrics::Counter& streamed =
+      metrics::GetCounter("toolstack.migration.bytes_streamed");
+  streamed.Inc(static_cast<double>(memory.count()));
+  if (stream_time.ns() > 0) {
+    static metrics::Histogram& gbps =
+        metrics::GetHistogram("toolstack.migration.stream_gbps", "Gbit/s");
+    gbps.Record(static_cast<double>(memory.count()) * 8.0 /
+                static_cast<double>(stream_time.ns()));
+  }
 
   // Remote completes the restore and resumes the guest. The snapshot is a
   // named local: passing a temporary by reference into an awaited coroutine
@@ -47,7 +60,11 @@ sim::Co<lv::Status> Migrate(Toolstack* local, sim::ExecCtx local_ctx, hv::Domain
   remote->count_received();
 
   // Source tears down its copy.
-  co_return co_await local->TeardownAfterMigration(local_ctx, domid);
+  lv::Status torn_down = co_await local->TeardownAfterMigration(local_ctx, domid);
+  static metrics::Histogram& migrate_ms =
+      metrics::GetHistogram("toolstack.migration.migrate_ms", "ms");
+  migrate_ms.RecordDuration(local->env().engine->now() - migrate_start);
+  co_return torn_down;
 }
 
 }  // namespace toolstack

@@ -2,6 +2,7 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/trace.h"
 
 namespace toolstack {
@@ -99,7 +100,8 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
     ctx = ctx.OnTrack(tracer.NewTrack(lv::StrFormat("vm:%s", config.name.c_str())));
   }
   trace::Span create_span(ctx.track, "vm.create");
-  lv::TimePoint t0 = env_.engine->now();
+  lv::TimePoint create_start = env_.engine->now();
+  lv::TimePoint t0 = create_start;
 
   // --- Config parsing ----------------------------------------------------------
   trace::Span phase(ctx.track, "create.config");
@@ -195,6 +197,8 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
   (void)co_await env_.hv->DomainFinishBuild(ctx, domid);
   (void)co_await env_.hv->DomainUnpause(ctx, domid);
   phase.End();
+  static metrics::Histogram& create_ms = metrics::GetHistogram("toolstack.xl.create_ms", "ms");
+  create_ms.RecordDuration(env_.engine->now() - create_start);
   LV_DEBUG(kMod, "created dom%lld (%s)", (long long)domid, config.name.c_str());
   co_return domid;
 }
@@ -225,6 +229,7 @@ sim::Co<lv::Status> XlToolstack::Destroy(sim::ExecCtx ctx, hv::DomainId domid) {
 
 sim::Co<lv::Result<Snapshot>> XlToolstack::Save(sim::ExecCtx ctx, hv::DomainId domid) {
   trace::Span span(ctx.track, "vm.save");
+  lv::TimePoint save_start = env_.engine->now();
   auto it = vms_.find(domid);
   if (it == vms_.end()) {
     co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");
@@ -258,6 +263,8 @@ sim::Co<lv::Result<Snapshot>> XlToolstack::Save(sim::ExecCtx ctx, hv::DomainId d
   (void)co_await RemoveGuestRecords(ctx, domid);
   (void)co_await env_.hv->DomainDestroy(ctx, domid);
   UntrackVm(domid);
+  static metrics::Histogram& save_ms = metrics::GetHistogram("toolstack.xl.save_ms", "ms");
+  save_ms.RecordDuration(env_.engine->now() - save_start);
   lv::Bytes memory = config.image.memory;
   co_return Snapshot{std::move(config), memory};
 }
@@ -326,6 +333,7 @@ sim::Co<lv::Status> XlToolstack::FinishIncoming(sim::ExecCtx ctx, hv::DomainId d
 
 sim::Co<lv::Result<hv::DomainId>> XlToolstack::Restore(sim::ExecCtx ctx, Snapshot snap) {
   trace::Span span(ctx.track, "vm.restore");
+  lv::TimePoint restore_start = env_.engine->now();
   auto domid = co_await PrepareIncoming(ctx, snap.config);
   if (!domid.ok()) {
     co_return domid;
@@ -334,6 +342,9 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Restore(sim::ExecCtx ctx, Snapsho
   if (!finished.ok()) {
     co_return finished.error();
   }
+  static metrics::Histogram& restore_ms =
+      metrics::GetHistogram("toolstack.xl.restore_ms", "ms");
+  restore_ms.RecordDuration(env_.engine->now() - restore_start);
   co_return *domid;
 }
 

@@ -4,6 +4,7 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/trace.h"
 
 namespace xs {
@@ -78,6 +79,66 @@ const char* DaemonSpanName(OpType op) {
   return "xsd.?";
 }
 
+// Per-verb op counter, resolved to a cached handle per case (same shape as
+// the span-name tables above: no formatting or map lookups after first use).
+metrics::Counter& OpCounter(OpType op) {
+  switch (op) {
+    case OpType::kRead: {
+      static metrics::Counter& c = metrics::GetCounter("xenstore.daemon.ops.read");
+      return c;
+    }
+    case OpType::kWrite: {
+      static metrics::Counter& c = metrics::GetCounter("xenstore.daemon.ops.write");
+      return c;
+    }
+    case OpType::kMkdir: {
+      static metrics::Counter& c = metrics::GetCounter("xenstore.daemon.ops.mkdir");
+      return c;
+    }
+    case OpType::kRm: {
+      static metrics::Counter& c = metrics::GetCounter("xenstore.daemon.ops.rm");
+      return c;
+    }
+    case OpType::kDirectory: {
+      static metrics::Counter& c = metrics::GetCounter("xenstore.daemon.ops.directory");
+      return c;
+    }
+    case OpType::kWatch: {
+      static metrics::Counter& c = metrics::GetCounter("xenstore.daemon.ops.watch");
+      return c;
+    }
+    case OpType::kUnwatch: {
+      static metrics::Counter& c = metrics::GetCounter("xenstore.daemon.ops.unwatch");
+      return c;
+    }
+    case OpType::kTxBegin: {
+      static metrics::Counter& c = metrics::GetCounter("xenstore.daemon.ops.tx_begin");
+      return c;
+    }
+    case OpType::kTxCommit: {
+      static metrics::Counter& c = metrics::GetCounter("xenstore.daemon.ops.tx_commit");
+      return c;
+    }
+    case OpType::kTxAbort: {
+      static metrics::Counter& c = metrics::GetCounter("xenstore.daemon.ops.tx_abort");
+      return c;
+    }
+    case OpType::kWriteUniqueName: {
+      static metrics::Counter& c =
+          metrics::GetCounter("xenstore.daemon.ops.write_unique_name");
+      return c;
+    }
+    case OpType::kReleaseClient: {
+      static metrics::Counter& c = metrics::GetCounter("xenstore.daemon.ops.release_client");
+      return c;
+    }
+    case OpType::kStop:
+      break;
+  }
+  static metrics::Counter& c = metrics::GetCounter("xenstore.daemon.ops.other");
+  return c;
+}
+
 }  // namespace
 
 Daemon::Daemon(sim::Engine* engine, Costs costs)
@@ -142,6 +203,8 @@ sim::Co<void> Daemon::AppendAccessLog(sim::ExecCtx ctx) {
   if (log_lines_ >= costs_.log_rotate_lines) {
     log_lines_ = 0;
     ++stats_.rotations;
+    static metrics::Counter& rotations = metrics::GetCounter("xenstore.daemon.log_rotations");
+    rotations.Inc();
     LV_DEBUG(kMod, "rotating %d access logs", costs_.log_files);
     co_await ctx.Work(costs_.log_rotate_per_file * static_cast<double>(costs_.log_files));
   }
@@ -155,6 +218,8 @@ void Daemon::DeliverWatchHits(const std::vector<WatchHit>& hits) {
     }
     ++stats_.watch_events;
     trace::Count("xs.watch_events", 1);
+    static metrics::Counter& watch_events = metrics::GetCounter("xenstore.daemon.watch_events");
+    watch_events.Inc();
     it->second->Send(WatchEvent{hit.watch_path, hit.token, hit.fired_path});
   }
 }
@@ -163,6 +228,9 @@ sim::Co<void> Daemon::Process(sim::ExecCtx ctx, Request req) {
   ++stats_.ops;
   trace::Span span(ctx.track, DaemonSpanName(req.op));
   trace::Count("xs.ops", 1);
+  static metrics::Counter& ops = metrics::GetCounter("xenstore.daemon.ops");
+  ops.Inc();
+  OpCounter(req.op).Inc();
   // Request arrival: daemon-side interrupts + base processing.
   co_await ctx.Work(costs_.soft_interrupt * static_cast<double>(costs_.daemon_interrupts) +
                     costs_.daemon_base);
@@ -240,6 +308,9 @@ sim::Co<void> Daemon::Process(sim::ExecCtx ctx, Request req) {
         if (s.code() == lv::ErrorCode::kConflict) {
           ++stats_.conflicts;
           trace::Count("xs.conflicts", 1);
+          static metrics::Counter& conflicts =
+              metrics::GetCounter("xenstore.daemon.tx_conflicts");
+          conflicts.Inc();
         }
       }
       break;
@@ -441,6 +512,8 @@ sim::Co<lv::Status> RunTransaction(sim::ExecCtx ctx, XsClient* client, int max_r
     }
     // Conflict: pay the whole transaction again, like a real client.
     trace::Count("xs.txn_retries", 1);
+    static metrics::Counter& retries = metrics::GetCounter("xenstore.client.tx_retries");
+    retries.Inc();
   }
   co_return last;
 }
