@@ -25,7 +25,8 @@ void MemoryAtScale() {
             engine, host,
             bench::Config(lv::StrFormat("vm%d", i), guests::DaytimeUnikernel()));
         if (!t.ok) {
-          return;
+          bench::FailRun(lv::StrFormat("memory_at_scale: create %d/%d failed "
+                                       "(sharing=%d)", i, n, sharing ? 1 : 0));
         }
       }
       used[sharing ? 1 : 0] = (host.MemoryUsed() - host.spec().dom0_memory).mib();

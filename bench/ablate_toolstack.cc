@@ -28,7 +28,8 @@ void PoolSweep() {
           engine, host,
           bench::Config(lv::StrFormat("burst%d", i), guests::DaytimeUnikernel()));
       if (!t.ok) {
-        return;
+        bench::FailRun(lv::StrFormat("pool_sweep: create %d failed (target=%d)", i,
+                                     target));
       }
       lat.Add(t.create_ms);
     }
@@ -77,12 +78,13 @@ void NoxsTeardownSweep() {
     bench::CreateTiming t = bench::CreateBootTimed(
         engine, src, bench::Config("mig", guests::DaytimeUnikernel()));
     if (!t.ok) {
-      return;
+      bench::FailRun("noxs_teardown: vm creation failed");
     }
     lv::TimePoint t0 = engine.now();
     lv::Status s = sim::RunToCompletion(engine, src.MigrateVm(t.domid, &dst, &link));
     if (!s.ok()) {
-      return;
+      bench::FailRun(lv::StrFormat("noxs_teardown: migration failed: %s",
+                                   s.error().message.c_str()));
     }
     bench::Point(optimized ? "teardown_optimized" : "teardown_unoptimized",
                  {{"migrate_ms", (engine.now() - t0).ms()}});

@@ -28,7 +28,7 @@ double MeasureAt500(const xs::Costs& store_costs) {
     bench::CreateTiming t = bench::CreateBootTimed(
         engine, host, bench::Config(lv::StrFormat("vm%d", i), guests::DaytimeUnikernel()));
     if (!t.ok) {
-      return -1.0;
+      bench::FailRun(lv::StrFormat("create %d/500 failed", i));
     }
     last = t.create_ms;
   }

@@ -182,6 +182,14 @@ inline void Point(const std::string& series,
   Report::Get().Point(series, std::move(row));
 }
 
+// Aborts a benchmark run that cannot produce valid results. A figure that
+// exits 0 with a silently truncated table poisons downstream comparisons,
+// so failures are loud and nonzero.
+[[noreturn]] inline void FailRun(const std::string& reason) {
+  std::fprintf(stderr, "benchmark run failed: %s\n", reason.c_str());
+  std::exit(1);
+}
+
 inline void Header(const std::string& figure, const std::string& title,
                    const std::string& setup) {
   Report::Get().SetTitle(title, setup);

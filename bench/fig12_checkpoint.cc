@@ -33,7 +33,8 @@ void Series(lightvm::Mechanisms mechanisms, int total) {
           engine, host,
           bench::Config(lv::StrFormat("ck%d", created++), guests::DaytimeUnikernel()));
       if (!t.ok) {
-        return;
+        bench::FailRun(lv::StrFormat("%s: vm creation failed at n=%zu",
+                                     mechanisms.label().c_str(), running.size()));
       }
       running.push_back(t.domid);
     }
@@ -49,16 +50,18 @@ void Series(lightvm::Mechanisms mechanisms, int total) {
       lv::TimePoint t0 = engine.now();
       auto snap = sim::RunToCompletion(engine, host.SaveVm(domid));
       if (!snap.ok()) {
-        std::fprintf(stderr, "save failed: %s\n", snap.error().message.c_str());
-        return;
+        bench::FailRun(lv::StrFormat("%s: save failed at n=%zu: %s",
+                                     mechanisms.label().c_str(), running.size(),
+                                     snap.error().message.c_str()));
       }
       save_ms.Add((engine.now() - t0).ms());
 
       t0 = engine.now();
       auto restored = sim::RunToCompletion(engine, host.RestoreVm(*snap));
       if (!restored.ok()) {
-        std::fprintf(stderr, "restore failed: %s\n", restored.error().message.c_str());
-        return;
+        bench::FailRun(lv::StrFormat("%s: restore failed at n=%zu: %s",
+                                     mechanisms.label().c_str(), running.size(),
+                                     restored.error().message.c_str()));
       }
       restore_ms.Add((engine.now() - t0).ms());
       running.push_back(*restored);

@@ -34,7 +34,8 @@ void Series(lightvm::Mechanisms mechanisms, int total) {
           engine, src,
           bench::Config(lv::StrFormat("mg%d", created++), guests::DaytimeUnikernel()));
       if (!t.ok) {
-        return;
+        bench::FailRun(lv::StrFormat("%s: vm creation failed at n=%zu",
+                                     mechanisms.label().c_str(), running.size()));
       }
       running.push_back(t.domid);
     }
@@ -43,12 +44,15 @@ void Series(lightvm::Mechanisms mechanisms, int total) {
       size_t victim = static_cast<size_t>(
           engine.rng().Uniform(0, static_cast<int64_t>(running.size()) - 1));
       hv::DomainId domid = running[victim];
-      running.erase(running.begin() + static_cast<long>(victim));
+      // Swap-and-pop: O(1) instead of shifting the (growing) tail each round.
+      running[victim] = running.back();
+      running.pop_back();
       lv::TimePoint t0 = engine.now();
       lv::Status s = sim::RunToCompletion(engine, src.MigrateVm(domid, &dst, &link));
       if (!s.ok()) {
-        std::fprintf(stderr, "migration failed: %s\n", s.error().message.c_str());
-        return;
+        bench::FailRun(lv::StrFormat("%s: migration failed at n=%zu: %s",
+                                     mechanisms.label().c_str(), running.size(),
+                                     s.error().message.c_str()));
       }
       migrate_ms.Add((engine.now() - t0).ms());
     }
@@ -58,7 +62,8 @@ void Series(lightvm::Mechanisms mechanisms, int total) {
           engine, src,
           bench::Config(lv::StrFormat("mg%d", created++), guests::DaytimeUnikernel()));
       if (!t.ok) {
-        return;
+        bench::FailRun(lv::StrFormat("%s: vm creation failed at n=%zu",
+                                     mechanisms.label().c_str(), running.size()));
       }
       running.push_back(t.domid);
     }

@@ -22,7 +22,7 @@ void VmSeries(const char* label, guests::GuestImage image) {
       bench::CreateTiming t = bench::CreateBootTimed(
           engine, host, bench::Config(lv::StrFormat("%s%d", label, created), image));
       if (!t.ok) {
-        return;
+        bench::FailRun(lv::StrFormat("%s: vm creation failed at n=%d", label, created));
       }
       ++created;
     }
@@ -48,7 +48,7 @@ void DockerSeries() {
     while (created < target) {
       if (!sim::RunToCompletion(engine, docker.Run(ctx, container::MinimalContainer()))
                .ok()) {
-        return;
+        bench::FailRun(lv::StrFormat("docker: container run failed at n=%d", created));
       }
       ++created;
     }

@@ -48,7 +48,7 @@ double MeasureVmSeries(const guests::GuestImage& image, int n) {
     bench::CreateTiming t = bench::CreateBootTimed(
         engine, host, bench::Config(lv::StrFormat("tls%d", i), image));
     if (!t.ok) {
-      return 0.0;
+      bench::FailRun(lv::StrFormat("tls: create %d/%d failed", i, n));
     }
     servers.push_back(std::make_unique<guests::TlsServer>(host.guest(t.domid)));
   }

@@ -4,6 +4,7 @@
 // reproduction runs, not simulated time.
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
 #include "src/base/strings.h"
 #include "src/core/host.h"
 #include "src/sim/run.h"
@@ -109,6 +110,50 @@ void BM_XlCreateBoot(benchmark::State& state) {
 }
 BENCHMARK(BM_XlCreateBoot);
 
+// Console reporter that additionally records every run into the
+// bench::Report artifact, so `--json=<file>` captures the microbenchmark
+// numbers in the same schema as the figure benchmarks.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      bench::Point(run.benchmark_name(),
+                   {{"real_ns", run.GetAdjustedRealTime()},
+                    {"cpu_ns", run.GetAdjustedCPUTime()},
+                    {"iterations", static_cast<double>(run.iterations)}});
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --json=<file> belongs to the bench report; everything else is
+  // google-benchmark's (--benchmark_filter=..., etc.).
+  std::vector<char*> report_args{argv[0]};
+  std::vector<char*> gbench_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      report_args.push_back(argv[i]);
+    } else {
+      gbench_args.push_back(argv[i]);
+    }
+  }
+  int report_argc = static_cast<int>(report_args.size());
+  bench::Report::Get().Init(report_argc, report_args.data(), "micro_ops");
+  bench::Report::Get().SetTitle(
+      "substrate microbenchmarks (wall-clock, not simulated time)",
+      "google-benchmark over store ops, hypercalls, coroutine dispatch, VM creation");
+
+  int gbench_argc = static_cast<int>(gbench_args.size());
+  benchmark::Initialize(&gbench_argc, gbench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(gbench_argc, gbench_args.data())) {
+    return 1;
+  }
+  RecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  bench::Report::Get().Write();
+  return 0;
+}

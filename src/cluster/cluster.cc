@@ -1,0 +1,180 @@
+#include "src/cluster/cluster.h"
+
+#include "src/metrics/metrics.h"
+
+namespace cluster {
+
+Cluster::Cluster(sim::Engine* engine, ClusterSpec spec,
+                 std::unique_ptr<PlacementPolicy> policy)
+    : engine_(engine), spec_(spec), policy_(std::move(policy)) {
+  LV_CHECK_MSG(spec_.num_nodes > 0, "cluster needs at least one node");
+  LV_CHECK_MSG(policy_ != nullptr, "cluster needs a placement policy");
+  if (spec_.memory_budget == lv::Bytes()) {
+    spec_.memory_budget = spec_.node.memory - spec_.node.dom0_memory;
+  }
+  if (spec_.vcpu_budget == 0) {
+    int64_t guest_cores = spec_.node.cores - spec_.node.dom0_cores;
+    spec_.vcpu_budget = spec_.vcpu_overcommit * guest_cores;
+  }
+  nodes_.resize(spec_.num_nodes);
+  for (Node& node : nodes_) {
+    node.host = std::make_unique<lightvm::Host>(engine_, spec_.node, spec_.mechanisms);
+  }
+}
+
+Cluster::~Cluster() = default;
+
+xnet::Link* Cluster::link(int a, int b) {
+  LV_CHECK_MSG(a != b, "no self-link");
+  if (a > b) {
+    std::swap(a, b);
+  }
+  int64_t key = (static_cast<int64_t>(a) << 32) | static_cast<int64_t>(b);
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    it = links_
+             .emplace(key, std::make_unique<xnet::Link>(engine_, spec_.link_gbps,
+                                                        spec_.link_rtt))
+             .first;
+  }
+  return it->second.get();
+}
+
+NodeView Cluster::view(int node) const {
+  const Node& n = nodes_[node];
+  NodeView v;
+  v.index = node;
+  v.memory_budget = spec_.memory_budget;
+  v.memory_committed = n.memory_committed;
+  v.vcpu_budget = spec_.vcpu_budget;
+  v.vcpus_committed = n.vcpus_committed;
+  v.vms = n.host->num_vms();
+  v.active_creates = n.active_creates;
+  return v;
+}
+
+std::vector<NodeView> Cluster::views() const {
+  std::vector<NodeView> out;
+  out.reserve(nodes_.size());
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    out.push_back(view(i));
+  }
+  return out;
+}
+
+int64_t Cluster::total_vms() const {
+  int64_t total = 0;
+  for (const Node& node : nodes_) {
+    total += node.host->num_vms();
+  }
+  return total;
+}
+
+sim::Co<lv::Result<VmHandle>> Cluster::Deploy(toolstack::VmConfig config,
+                                              bool wait_boot) {
+  int pick = policy_->Pick(views(), config);
+  if (pick < 0) {
+    ++admission_rejects_;
+    ++deploy_failures_;
+    static metrics::Counter& rejects = metrics::GetCounter("cluster.admission_rejects");
+    rejects.Inc();
+    co_return lv::Err(lv::ErrorCode::kUnavailable, "no node admits the VM");
+  }
+  // Commit the budget before the first suspension point: a concurrent
+  // Deploy sees this VM's reservation even though the create is in flight.
+  Node& node = nodes_[pick];
+  Placement placement{config.image.memory, config.vcpus};
+  node.memory_committed += placement.memory;
+  node.vcpus_committed += placement.vcpus;
+  ++node.active_creates;
+
+  auto created =
+      co_await node.host->node().SubmitCreate(std::move(config), wait_boot).Get();
+
+  --node.active_creates;
+  if (!created.ok()) {
+    node.memory_committed -= placement.memory;
+    node.vcpus_committed -= placement.vcpus;
+    ++deploy_failures_;
+    co_return created.error();
+  }
+  VmHandle handle{pick, *created};
+  placements_[Key(handle)] = placement;
+  ++vms_deployed_;
+  static metrics::Counter& deploys = metrics::GetCounter("cluster.vms_deployed");
+  deploys.Inc();
+  co_return handle;
+}
+
+sim::Co<lv::Status> Cluster::Retire(VmHandle handle) {
+  if (handle.node < 0 || handle.node >= spec_.num_nodes) {
+    co_return lv::Err(lv::ErrorCode::kInvalidArgument, "bad node index");
+  }
+  auto it = placements_.find(Key(handle));
+  if (it == placements_.end()) {
+    co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM handle");
+  }
+  Placement placement = it->second;
+  Node& node = nodes_[handle.node];
+  lv::Status destroyed =
+      co_await node.host->node().SubmitDestroy(handle.domid).Get();
+  if (!destroyed.ok()) {
+    co_return destroyed;
+  }
+  // Release the budget only on success; a concurrent Retire of the same
+  // handle fails inside the node (kUnavailable / kNotFound) and changes
+  // nothing here.
+  node.memory_committed -= placement.memory;
+  node.vcpus_committed -= placement.vcpus;
+  placements_.erase(Key(handle));
+  co_return lv::Status::Ok();
+}
+
+sim::Co<lv::Result<VmHandle>> Cluster::Migrate(VmHandle handle, int target_node) {
+  if (handle.node < 0 || handle.node >= spec_.num_nodes || target_node < 0 ||
+      target_node >= spec_.num_nodes) {
+    co_return lv::Err(lv::ErrorCode::kInvalidArgument, "bad node index");
+  }
+  if (target_node == handle.node) {
+    co_return lv::Err(lv::ErrorCode::kInvalidArgument, "VM already on target node");
+  }
+  auto it = placements_.find(Key(handle));
+  if (it == placements_.end()) {
+    co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM handle");
+  }
+  Placement placement = it->second;
+  Node& src = nodes_[handle.node];
+  Node& dst = nodes_[target_node];
+  // Admission on the target, committed up front like Deploy. The source
+  // keeps its commitment until the migration succeeds (the guest occupies
+  // both nodes while its memory streams).
+  if (dst.memory_committed + placement.memory > spec_.memory_budget ||
+      dst.vcpus_committed + placement.vcpus > spec_.vcpu_budget) {
+    ++admission_rejects_;
+    static metrics::Counter& rejects = metrics::GetCounter("cluster.admission_rejects");
+    rejects.Inc();
+    co_return lv::Err(lv::ErrorCode::kUnavailable, "target node over budget");
+  }
+  dst.memory_committed += placement.memory;
+  dst.vcpus_committed += placement.vcpus;
+
+  auto moved = co_await src.host->node().MigrateVm(
+      handle.domid, &dst.host->node(), link(handle.node, target_node));
+
+  if (!moved.ok()) {
+    dst.memory_committed -= placement.memory;
+    dst.vcpus_committed -= placement.vcpus;
+    co_return moved.error();
+  }
+  src.memory_committed -= placement.memory;
+  src.vcpus_committed -= placement.vcpus;
+  placements_.erase(Key(handle));
+  VmHandle out{target_node, *moved};
+  placements_[Key(out)] = placement;
+  ++migrations_;
+  static metrics::Counter& migrations = metrics::GetCounter("cluster.migrations");
+  migrations.Inc();
+  co_return out;
+}
+
+}  // namespace cluster

@@ -1,0 +1,121 @@
+// Cluster: the control plane over N LightVM nodes (paper §6.1 scaled out).
+//
+// Each node is a full lightvm::Host wired to every other node by a
+// point-to-point link (the migration fabric). The cluster adds what a single
+// Host cannot express:
+//
+//  * placement  — a pluggable PlacementPolicy picks the node for each VM,
+//  * admission  — per-node memory and vCPU budgets are committed before the
+//                 first suspension point, so concurrent Deploys can never
+//                 oversubscribe a node,
+//  * migration  — cluster-level Migrate() re-homes a VM between nodes and
+//                 keeps the accounting straight.
+//
+// All nodes share one sim::Engine, so a whole-cluster run stays a single
+// deterministic event sequence.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/placement.h"
+#include "src/core/host.h"
+
+namespace cluster {
+
+struct ClusterSpec {
+  int num_nodes = 4;
+  lightvm::HostSpec node = lightvm::HostSpec::Amd64Core();
+  lightvm::Mechanisms mechanisms = lightvm::Mechanisms::LightVm();
+
+  // Migration fabric between each pair of nodes.
+  double link_gbps = 10.0;
+  lv::Duration link_rtt = lv::Duration::Micros(200);
+
+  // Admission budgets. Zero means "derive from the node spec": all guest
+  // memory (node.memory - node.dom0_memory) and `vcpu_overcommit` virtual
+  // CPUs per physical guest core.
+  lv::Bytes memory_budget;
+  int64_t vcpu_budget = 0;
+  int64_t vcpu_overcommit = 32;
+};
+
+// A VM's cluster-wide identity: which node it lives on and its domain id
+// there. Migration returns a fresh handle (new node, new domid).
+struct VmHandle {
+  int node = -1;
+  hv::DomainId domid = hv::kInvalidDomain;
+
+  bool operator==(const VmHandle&) const = default;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Engine* engine, ClusterSpec spec,
+          std::unique_ptr<PlacementPolicy> policy);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_nodes() const { return spec_.num_nodes; }
+  const ClusterSpec& spec() const { return spec_; }
+  PlacementPolicy& policy() { return *policy_; }
+  lightvm::Host& host(int node) { return *nodes_[node].host; }
+  // Link between two distinct nodes (undirected; created lazily).
+  xnet::Link* link(int a, int b);
+
+  // Current accounting snapshot of one node / all nodes.
+  NodeView view(int node) const;
+  std::vector<NodeView> views() const;
+
+  // Places `config` with the policy, commits its budget and creates the VM
+  // on the chosen node (boot-waited when `wait_boot`). Fails with
+  // kUnavailable when no node admits the VM.
+  sim::Co<lv::Result<VmHandle>> Deploy(toolstack::VmConfig config, bool wait_boot);
+
+  // Destroys the VM and releases its budget.
+  sim::Co<lv::Status> Retire(VmHandle handle);
+
+  // Migrates the VM to `target_node` (admission-checked there) and returns
+  // its new handle.
+  sim::Co<lv::Result<VmHandle>> Migrate(VmHandle handle, int target_node);
+
+  int64_t vms_deployed() const { return vms_deployed_; }
+  int64_t deploy_failures() const { return deploy_failures_; }
+  int64_t admission_rejects() const { return admission_rejects_; }
+  int64_t migrations() const { return migrations_; }
+  // Total VMs currently running across all nodes.
+  int64_t total_vms() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<lightvm::Host> host;
+    lv::Bytes memory_committed;
+    int64_t vcpus_committed = 0;
+    int64_t active_creates = 0;
+  };
+  // Budget held by one placed VM, so Retire/Migrate release exactly what
+  // Deploy committed even if the config changes meaning later.
+  struct Placement {
+    lv::Bytes memory;
+    int64_t vcpus = 0;
+  };
+
+  static int64_t Key(VmHandle handle) {
+    return (static_cast<int64_t>(handle.node) << 32) | handle.domid;
+  }
+
+  sim::Engine* engine_;
+  ClusterSpec spec_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  std::vector<Node> nodes_;
+  std::unordered_map<int64_t, std::unique_ptr<xnet::Link>> links_;
+  std::unordered_map<int64_t, Placement> placements_;
+  int64_t vms_deployed_ = 0;
+  int64_t deploy_failures_ = 0;
+  int64_t admission_rejects_ = 0;
+  int64_t migrations_ = 0;
+};
+
+}  // namespace cluster

@@ -1,0 +1,67 @@
+#include "src/cluster/placement.h"
+
+namespace cluster {
+
+bool Admits(const NodeView& node, const toolstack::VmConfig& config) {
+  return node.memory_committed + config.image.memory <= node.memory_budget &&
+         node.vcpus_committed + config.vcpus <= node.vcpu_budget;
+}
+
+int FirstFit::Pick(const std::vector<NodeView>& nodes,
+                   const toolstack::VmConfig& config) {
+  for (const NodeView& node : nodes) {
+    if (Admits(node, config)) {
+      return node.index;
+    }
+  }
+  return -1;
+}
+
+int LeastLoaded::Pick(const std::vector<NodeView>& nodes,
+                      const toolstack::VmConfig& config) {
+  int best = -1;
+  int64_t best_load = 0;
+  for (const NodeView& node : nodes) {
+    if (!Admits(node, config)) {
+      continue;
+    }
+    int64_t load = node.vms + node.active_creates;
+    if (best == -1 || load < best_load) {
+      best = node.index;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+int MemoryBalance::Pick(const std::vector<NodeView>& nodes,
+                        const toolstack::VmConfig& config) {
+  int best = -1;
+  lv::Bytes best_free;
+  for (const NodeView& node : nodes) {
+    if (!Admits(node, config)) {
+      continue;
+    }
+    lv::Bytes free = node.memory_budget - node.memory_committed;
+    if (best == -1 || free > best_free) {
+      best = node.index;
+      best_free = free;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<PlacementPolicy> MakePolicy(const std::string& name) {
+  if (name == "first-fit") {
+    return std::make_unique<FirstFit>();
+  }
+  if (name == "least-loaded") {
+    return std::make_unique<LeastLoaded>();
+  }
+  if (name == "memory-balance") {
+    return std::make_unique<MemoryBalance>();
+  }
+  return nullptr;
+}
+
+}  // namespace cluster

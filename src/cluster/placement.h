@@ -1,0 +1,74 @@
+// Placement policies for the cluster control plane: given the current view
+// of every node, pick the node a new VM should land on. Policies only ever
+// return admissible nodes — admission control (per-node memory and vCPU
+// budgets) is part of the contract, not a separate pass.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/toolstack/toolstack.h"
+
+namespace cluster {
+
+// What a policy sees of one node. `*_committed` counts both running VMs and
+// deploys still in flight (the cluster commits resources before the first
+// suspension point, so concurrent deploys cannot oversubscribe a node).
+struct NodeView {
+  int index = 0;
+  lv::Bytes memory_budget;
+  lv::Bytes memory_committed;
+  int64_t vcpu_budget = 0;
+  int64_t vcpus_committed = 0;
+  int64_t vms = 0;             // running VMs
+  int64_t active_creates = 0;  // deploys in flight
+};
+
+// Whether `node` has budget left for `config`.
+bool Admits(const NodeView& node, const toolstack::VmConfig& config);
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual const char* name() const = 0;
+  // Index of the chosen node, or -1 if no node admits the VM. Must only
+  // return nodes for which Admits() holds.
+  virtual int Pick(const std::vector<NodeView>& nodes,
+                   const toolstack::VmConfig& config) = 0;
+};
+
+// Lowest-index node with budget. Packs nodes in order; the degenerate
+// baseline that concentrates toolstack load on node 0.
+class FirstFit : public PlacementPolicy {
+ public:
+  const char* name() const override { return "first-fit"; }
+  int Pick(const std::vector<NodeView>& nodes,
+           const toolstack::VmConfig& config) override;
+};
+
+// Node with the fewest VMs (running + in-flight creates). Spreads toolstack
+// work evenly, which matters because VM creation burns Dom0 CPU.
+class LeastLoaded : public PlacementPolicy {
+ public:
+  const char* name() const override { return "least-loaded"; }
+  int Pick(const std::vector<NodeView>& nodes,
+           const toolstack::VmConfig& config) override;
+};
+
+// Node with the most free memory. Balances the density headroom instead of
+// the VM count (uneven flavors make these differ).
+class MemoryBalance : public PlacementPolicy {
+ public:
+  const char* name() const override { return "memory-balance"; }
+  int Pick(const std::vector<NodeView>& nodes,
+           const toolstack::VmConfig& config) override;
+};
+
+// Factory by name ("first-fit", "least-loaded", "memory-balance"); returns
+// nullptr for unknown names.
+std::unique_ptr<PlacementPolicy> MakePolicy(const std::string& name);
+
+}  // namespace cluster

@@ -1,0 +1,76 @@
+// Dom0Services: the bundle of Dom0-resident machinery one node runs — the
+// XenStore daemon (absent under noxs), the split-driver back-ends and their
+// watchers, the hotplug runners (bash scripts / xendevd), the sysctl power
+// back-end and the software switch.
+//
+// Host used to own all of this directly; extracting it gives the toolstack
+// layer (NodeApi) a single dependency to point at, and keeps construction /
+// teardown ordering — store before watchers, watchers stopped before the
+// store — in one place.
+#pragma once
+
+#include <memory>
+
+#include "src/core/mechanisms.h"
+#include "src/devices/backend.h"
+#include "src/devices/hotplug.h"
+#include "src/devices/sysctl.h"
+#include "src/hv/hypervisor.h"
+#include "src/net/switch.h"
+#include "src/sim/cpu.h"
+#include "src/toolstack/env.h"
+#include "src/xenstore/daemon.h"
+
+namespace lightvm {
+
+class Dom0Services {
+ public:
+  // The node-level substrate Dom0 runs on (owned by Host).
+  struct Deps {
+    sim::Engine* engine = nullptr;
+    sim::CpuScheduler* cpu = nullptr;
+    sim::CorePlacer* placer = nullptr;
+    hv::Hypervisor* hv = nullptr;
+  };
+
+  // Brings the services up: back-ends constructed, store daemon started (if
+  // the mechanisms need one) and its watchers attached, udev hotplug wired
+  // for the chaos paths.
+  Dom0Services(Deps deps, const Mechanisms& mechanisms);
+  // Stops watchers, then the store daemon.
+  ~Dom0Services();
+  Dom0Services(const Dom0Services&) = delete;
+  Dom0Services& operator=(const Dom0Services&) = delete;
+
+  // Fills the toolstack-facing view of this Dom0 (engine/cpu/placer/hv from
+  // deps, every device/store pointer from here).
+  void Populate(toolstack::HostEnv* env) const;
+
+  // Execution context for Dom0 control-plane work; round-robins the
+  // dedicated Dom0 cores.
+  sim::ExecCtx Dom0Ctx();
+
+  xnet::Switch& network_switch() { return *switch_; }
+  xs::Daemon* store() { return store_.get(); }
+  xs::Costs* store_costs() { return store_ ? store_->mutable_costs() : nullptr; }
+  xdev::BackendDriver& netback() { return *netback_; }
+  xdev::BackendDriver& blkback() { return *blkback_; }
+  xdev::SysctlBackend& sysctl() { return *sysctl_; }
+  xdev::HotplugRunner* bash_hotplug() { return bash_hotplug_.get(); }
+  xdev::HotplugRunner* xendevd() { return xendevd_.get(); }
+  xdev::Costs* device_costs() { return &dev_costs_; }
+
+ private:
+  Deps deps_;
+  std::unique_ptr<xnet::Switch> switch_;
+  std::unique_ptr<xdev::ControlPages> control_pages_;
+  xdev::Costs dev_costs_;
+  std::unique_ptr<xdev::BashHotplug> bash_hotplug_;
+  std::unique_ptr<xdev::Xendevd> xendevd_;
+  std::unique_ptr<xs::Daemon> store_;
+  std::unique_ptr<xdev::BackendDriver> netback_;
+  std::unique_ptr<xdev::BackendDriver> blkback_;
+  std::unique_ptr<xdev::SysctlBackend> sysctl_;
+};
+
+}  // namespace lightvm

@@ -1,8 +1,5 @@
 #include "src/core/host.h"
 
-#include "src/base/log.h"
-#include "src/sim/run.h"
-
 namespace lightvm {
 
 std::string Mechanisms::label() const {
@@ -56,140 +53,55 @@ Host::Host(sim::Engine* engine, HostSpec spec, Mechanisms mechanisms)
   cpu_ = std::make_unique<sim::CpuScheduler>(engine_, spec_.cores);
   placer_ = std::make_unique<sim::CorePlacer>(spec_.cores, spec_.dom0_cores);
   hv_ = std::make_unique<hv::Hypervisor>(engine_, spec_.memory);
-  switch_ = std::make_unique<xnet::Switch>(engine_);
-  control_pages_ = std::make_unique<xdev::ControlPages>();
-  bash_hotplug_ = std::make_unique<xdev::BashHotplug>(&dev_costs_);
-  xendevd_ = std::make_unique<xdev::Xendevd>(&dev_costs_);
-
-  bool use_store = mechanisms_.toolstack == ToolstackKind::kXl || !mechanisms_.noxs;
-
-  netback_ = std::make_unique<xdev::BackendDriver>(engine_, hv_.get(), hv::DeviceType::kNet,
-                                                   control_pages_.get(), switch_.get(),
-                                                   &dev_costs_);
-  blkback_ = std::make_unique<xdev::BackendDriver>(engine_, hv_.get(),
-                                                   hv::DeviceType::kBlock,
-                                                   control_pages_.get(), nullptr,
-                                                   &dev_costs_);
-  sysctl_ = std::make_unique<xdev::SysctlBackend>(engine_, hv_.get(), control_pages_.get(),
-                                                  &dev_costs_);
-
-  if (use_store) {
-    store_ = std::make_unique<xs::Daemon>(engine_);
-    store_->Start(Dom0Ctx());
-    netback_->StartXsWatcher(store_.get(), Dom0Ctx());
-    blkback_->StartXsWatcher(store_.get(), Dom0Ctx());
-  }
-  if (mechanisms_.toolstack == ToolstackKind::kChaos) {
-    // chaos replaces hotplug scripts with xendevd, triggered by udev events.
-    netback_->set_udev_hotplug(xendevd_.get());
-    blkback_->set_udev_hotplug(xendevd_.get());
-  }
-
-  toolstack::HostEnv env;
-  env.engine = engine_;
-  env.cpu = cpu_.get();
-  env.placer = placer_.get();
-  env.hv = hv_.get();
-  env.store = store_.get();
-  env.netback = netback_.get();
-  env.blkback = blkback_.get();
-  env.sysctl = sysctl_.get();
-  env.control_pages = control_pages_.get();
-  env.bash_hotplug = bash_hotplug_.get();
-  env.xendevd = xendevd_.get();
-  env.sw = switch_.get();
-  env.page_sharing = mechanisms_.page_sharing;
-
-  toolstack::Costs ts_costs;
-  if (mechanisms_.toolstack == ToolstackKind::kXl) {
-    toolstack_ = std::make_unique<toolstack::XlToolstack>(env, ts_costs);
-  } else {
-    if (mechanisms_.split) {
-      chaos_daemon_ = std::make_unique<toolstack::ChaosDaemon>(env, ts_costs,
-                                                               mechanisms_.noxs);
-      chaos_daemon_->Start(Dom0Ctx());
-    }
-    toolstack_ = std::make_unique<toolstack::ChaosToolstack>(env, ts_costs,
-                                                             mechanisms_.noxs,
-                                                             chaos_daemon_.get());
-  }
-  migration_daemon_ =
-      std::make_unique<toolstack::MigrationDaemon>(toolstack_.get(), Dom0Ctx());
+  Dom0Services::Deps deps{engine_, cpu_.get(), placer_.get(), hv_.get()};
+  dom0_ = std::make_unique<Dom0Services>(deps, mechanisms_);
+  node_ = std::make_unique<NodeApi>(deps, dom0_.get(), mechanisms_);
 }
 
+// NodeApi (chaos daemon) stops before Dom0Services (watchers, store).
 Host::~Host() {
-  if (chaos_daemon_) {
-    chaos_daemon_->Stop();
-  }
-  netback_->StopXsWatcher();
-  blkback_->StopXsWatcher();
-  if (store_) {
-    store_->Stop();
-  }
-}
-
-sim::ExecCtx Host::Dom0Ctx() {
-  return sim::ExecCtx{cpu_.get(), placer_->NextDom0Core(), sim::kHostOwner};
+  node_.reset();
+  dom0_.reset();
 }
 
 sim::Co<lv::Result<hv::DomainId>> Host::CreateVm(toolstack::VmConfig config) {
-  co_return co_await toolstack_->Create(Dom0Ctx(), std::move(config));
+  co_return co_await node_->CreateVm(std::move(config));
 }
 
 sim::Co<lv::Result<hv::DomainId>> Host::CreateAndBoot(toolstack::VmConfig config) {
-  auto domid = co_await toolstack_->Create(Dom0Ctx(), std::move(config));
-  if (!domid.ok()) {
-    co_return domid;
-  }
-  co_await WaitBooted(*domid);
-  co_return domid;
+  co_return co_await node_->CreateAndBoot(std::move(config));
 }
 
 sim::Co<void> Host::WaitBooted(hv::DomainId domid) {
-  guests::Guest* g = toolstack_->guest(domid);
-  if (g != nullptr) {
-    co_await g->WaitBooted();
-  }
+  co_await node_->WaitBooted(domid);
 }
 
 sim::Co<lv::Status> Host::DestroyVm(hv::DomainId domid) {
-  co_return co_await toolstack_->Destroy(Dom0Ctx(), domid);
+  co_return co_await node_->DestroyVm(domid);
 }
 
 sim::Co<lv::Result<toolstack::Snapshot>> Host::SaveVm(hv::DomainId domid) {
-  co_return co_await toolstack_->Save(Dom0Ctx(), domid);
+  co_return co_await node_->SaveVm(domid);
 }
 
 sim::Co<lv::Result<hv::DomainId>> Host::RestoreVm(toolstack::Snapshot snap) {
-  co_return co_await toolstack_->Restore(Dom0Ctx(), std::move(snap));
+  co_return co_await node_->RestoreVm(std::move(snap));
 }
 
 sim::Co<lv::Status> Host::MigrateVm(hv::DomainId domid, Host* target, xnet::Link* link) {
-  co_return co_await toolstack::Migrate(toolstack_.get(), Dom0Ctx(), domid,
-                                        &target->migration_daemon(), link);
+  auto moved = co_await node_->MigrateVm(domid, target->node_.get(), link);
+  if (!moved.ok()) {
+    co_return lv::Err(moved.error().code, moved.error().message);
+  }
+  co_return lv::Status::Ok();
 }
 
 void Host::AddShellFlavor(lv::Bytes memory, bool wants_net, int target) {
-  if (chaos_daemon_) {
-    chaos_daemon_->AddFlavor(toolstack::ChaosDaemon::Flavor{memory, wants_net, target});
-  }
+  node_->AddShellFlavor(memory, wants_net, target);
 }
 
 void Host::PrefillShellPool() {
-  if (!chaos_daemon_) {
-    return;
-  }
-  int64_t target = 0;
-  for (const toolstack::ChaosDaemon::Flavor& f : chaos_daemon_->flavors()) {
-    target += f.target;
-  }
-  bool stocked = sim::RunUntilCondition(
-      *engine_, [&] { return chaos_daemon_->pool_size() >= target; },
-      lv::Duration::Seconds(60));
-  if (!stocked) {
-    LV_WARN("host", "shell pool not fully stocked (%lld/%lld)",
-            (long long)chaos_daemon_->pool_size(), (long long)target);
-  }
+  node_->PrefillShellPool();
 }
 
 lv::Bytes Host::MemoryUsed() const {

@@ -1,9 +1,11 @@
 // lightvm::Host — the top-level public API of this library.
 //
-// A Host bundles one physical machine: CPU cores, memory, the hypervisor,
-// Dom0 (store daemon, back-ends, hotplug machinery, software switch) and a
-// toolstack selected by the Mechanisms matrix. Benchmarks and examples
-// create Hosts and drive VMs through them.
+// A Host bundles one physical machine as thin composition: the simulation
+// substrate (CPU scheduler, core placer, hypervisor), the Dom0 service
+// bundle (Dom0Services: store daemon, back-ends, hotplug, switch) and the
+// lifecycle surface (NodeApi: toolstack, chaos daemon, migration daemon,
+// concurrent jobs). Benchmarks and examples create Hosts and drive VMs
+// through them; the cluster layer composes many NodeApis.
 //
 //   sim::Engine engine;
 //   lightvm::Host host(&engine, lightvm::HostSpec::Xeon4Core(),
@@ -14,12 +16,10 @@
 #include <memory>
 #include <string>
 
+#include "src/core/dom0.h"
 #include "src/core/mechanisms.h"
+#include "src/core/node_api.h"
 #include "src/guests/guest.h"
-#include "src/toolstack/chaos.h"
-#include "src/toolstack/chaos_daemon.h"
-#include "src/toolstack/migration.h"
-#include "src/toolstack/xl.h"
 
 namespace lightvm {
 
@@ -50,7 +50,7 @@ class Host {
   const HostSpec& spec() const { return spec_; }
   const Mechanisms& mechanisms() const { return mechanisms_; }
 
-  // --- VM lifecycle (thin wrappers over the toolstack) ----------------------
+  // --- VM lifecycle (delegated to the NodeApi) -----------------------------
 
   sim::Co<lv::Result<hv::DomainId>> CreateVm(toolstack::VmConfig config);
   // Creates and waits until the guest signals boot completion.
@@ -72,25 +72,25 @@ class Host {
   sim::Engine& engine() { return *engine_; }
   sim::CpuScheduler& cpu() { return *cpu_; }
   hv::Hypervisor& hv() { return *hv_; }
-  xnet::Switch& network_switch() { return *switch_; }
-  toolstack::Toolstack& toolstack() { return *toolstack_; }
-  toolstack::ChaosDaemon* chaos_daemon() { return chaos_daemon_.get(); }
-  toolstack::MigrationDaemon& migration_daemon() { return *migration_daemon_; }
-  xs::Daemon* store() { return store_.get(); }
+  Dom0Services& dom0() { return *dom0_; }
+  NodeApi& node() { return *node_; }
+  xnet::Switch& network_switch() { return dom0_->network_switch(); }
+  toolstack::Toolstack& toolstack() { return node_->toolstack(); }
+  toolstack::ChaosDaemon* chaos_daemon() { return node_->chaos_daemon(); }
+  toolstack::MigrationDaemon& migration_daemon() { return node_->migration_daemon(); }
+  xs::Daemon* store() { return dom0_->store(); }
   // Ablation hook: the store daemon's live cost model (null under noxs).
-  xs::Costs* store_costs_for_test() {
-    return store_ ? store_->mutable_costs() : nullptr;
-  }
+  xs::Costs* store_costs_for_test() { return dom0_->store_costs(); }
   // Ablation hook: the device layer's live cost model (e.g. to zero the
   // unoptimized noxs teardown the paper leaves as future work).
-  xdev::Costs* device_costs_for_test() { return &dev_costs_; }
-  xdev::BackendDriver& netback() { return *netback_; }
-  xdev::HotplugRunner* xendevd_runner() { return xendevd_.get(); }
-  guests::Guest* guest(hv::DomainId domid) { return toolstack_->guest(domid); }
-  int64_t num_vms() const { return toolstack_->num_vms(); }
+  xdev::Costs* device_costs_for_test() { return dom0_->device_costs(); }
+  xdev::BackendDriver& netback() { return dom0_->netback(); }
+  xdev::HotplugRunner* xendevd_runner() { return dom0_->xendevd(); }
+  guests::Guest* guest(hv::DomainId domid) { return node_->guest(domid); }
+  int64_t num_vms() const { return node_->num_vms(); }
 
   // Execution context for Dom0 work (control-plane callers).
-  sim::ExecCtx Dom0Ctx();
+  sim::ExecCtx Dom0Ctx() { return node_->Dom0Ctx(); }
 
   // Total memory in use: Dom0 baseline + all guest reservations (Fig. 14).
   lv::Bytes MemoryUsed() const;
@@ -105,18 +105,8 @@ class Host {
   std::unique_ptr<sim::CpuScheduler> cpu_;
   std::unique_ptr<sim::CorePlacer> placer_;
   std::unique_ptr<hv::Hypervisor> hv_;
-  std::unique_ptr<xnet::Switch> switch_;
-  std::unique_ptr<xdev::ControlPages> control_pages_;
-  xdev::Costs dev_costs_;
-  std::unique_ptr<xdev::BashHotplug> bash_hotplug_;
-  std::unique_ptr<xdev::Xendevd> xendevd_;
-  std::unique_ptr<xs::Daemon> store_;
-  std::unique_ptr<xdev::BackendDriver> netback_;
-  std::unique_ptr<xdev::BackendDriver> blkback_;
-  std::unique_ptr<xdev::SysctlBackend> sysctl_;
-  std::unique_ptr<toolstack::ChaosDaemon> chaos_daemon_;
-  std::unique_ptr<toolstack::Toolstack> toolstack_;
-  std::unique_ptr<toolstack::MigrationDaemon> migration_daemon_;
+  std::unique_ptr<Dom0Services> dom0_;
+  std::unique_ptr<NodeApi> node_;
 };
 
 }  // namespace lightvm

@@ -1,0 +1,213 @@
+#include "src/core/node_api.h"
+
+#include "src/base/log.h"
+#include "src/metrics/metrics.h"
+#include "src/sim/run.h"
+
+namespace lightvm {
+
+NodeApi::NodeApi(Dom0Services::Deps deps, Dom0Services* dom0, const Mechanisms& mechanisms)
+    : deps_(deps), dom0_(dom0), mechanisms_(mechanisms) {
+  toolstack::HostEnv env;
+  dom0_->Populate(&env);
+  env.page_sharing = mechanisms_.page_sharing;
+
+  toolstack::Costs ts_costs;
+  if (mechanisms_.toolstack == ToolstackKind::kXl) {
+    toolstack_ = std::make_unique<toolstack::XlToolstack>(env, ts_costs);
+  } else {
+    if (mechanisms_.split) {
+      chaos_daemon_ = std::make_unique<toolstack::ChaosDaemon>(env, ts_costs,
+                                                               mechanisms_.noxs);
+      chaos_daemon_->Start(Dom0Ctx());
+    }
+    toolstack_ = std::make_unique<toolstack::ChaosToolstack>(env, ts_costs,
+                                                             mechanisms_.noxs,
+                                                             chaos_daemon_.get());
+  }
+  migration_daemon_ =
+      std::make_unique<toolstack::MigrationDaemon>(toolstack_.get(), Dom0Ctx());
+}
+
+NodeApi::~NodeApi() {
+  if (chaos_daemon_) {
+    chaos_daemon_->Stop();
+  }
+}
+
+sim::ExecCtx NodeApi::Dom0Ctx() {
+  return sim::ExecCtx{deps_.cpu, deps_.placer->NextDom0Core(), sim::kHostOwner};
+}
+
+// --- Synchronous lifecycle ------------------------------------------------------
+
+sim::Co<lv::Result<hv::DomainId>> NodeApi::CreateVm(toolstack::VmConfig config) {
+  co_return co_await toolstack_->Create(Dom0Ctx(), std::move(config));
+}
+
+sim::Co<lv::Result<hv::DomainId>> NodeApi::CreateAndBoot(toolstack::VmConfig config) {
+  auto domid = co_await toolstack_->Create(Dom0Ctx(), std::move(config));
+  if (!domid.ok()) {
+    co_return domid;
+  }
+  co_await WaitBooted(*domid);
+  co_return domid;
+}
+
+sim::Co<void> NodeApi::WaitBooted(hv::DomainId domid) {
+  guests::Guest* g = toolstack_->guest(domid);
+  if (g != nullptr) {
+    co_await g->WaitBooted();
+  }
+}
+
+sim::Co<lv::Status> NodeApi::DestroyVm(hv::DomainId domid) {
+  VmOpGuard guard(this, domid);
+  if (!guard.held()) {
+    co_return lv::Err(lv::ErrorCode::kUnavailable,
+                      "concurrent lifecycle operation on domain");
+  }
+  co_return co_await toolstack_->Destroy(Dom0Ctx(), domid);
+}
+
+sim::Co<lv::Result<toolstack::Snapshot>> NodeApi::SaveVm(hv::DomainId domid) {
+  VmOpGuard guard(this, domid);
+  if (!guard.held()) {
+    co_return lv::Err(lv::ErrorCode::kUnavailable,
+                      "concurrent lifecycle operation on domain");
+  }
+  co_return co_await toolstack_->Save(Dom0Ctx(), domid);
+}
+
+sim::Co<lv::Result<hv::DomainId>> NodeApi::RestoreVm(toolstack::Snapshot snap) {
+  co_return co_await toolstack_->Restore(Dom0Ctx(), std::move(snap));
+}
+
+sim::Co<lv::Result<hv::DomainId>> NodeApi::MigrateVm(hv::DomainId domid, NodeApi* target,
+                                                     xnet::Link* link) {
+  VmOpGuard guard(this, domid);
+  if (!guard.held()) {
+    co_return lv::Err(lv::ErrorCode::kUnavailable,
+                      "concurrent lifecycle operation on domain");
+  }
+  co_return co_await toolstack::Migrate(toolstack_.get(), Dom0Ctx(), domid,
+                                        &target->migration_daemon(), link);
+}
+
+// --- Concurrent jobs ------------------------------------------------------------
+
+int64_t NodeApi::StartJob() {
+  ++jobs_started_;
+  static metrics::Counter& started = metrics::GetCounter("node.jobs.started");
+  static metrics::Gauge& active = metrics::GetGauge("node.jobs.active");
+  started.Inc();
+  active.Add(1.0);
+  return ++next_job_;
+}
+
+void NodeApi::FinishJob(bool ok) {
+  ++jobs_completed_;
+  static metrics::Counter& completed = metrics::GetCounter("node.jobs.completed");
+  static metrics::Counter& failed = metrics::GetCounter("node.jobs.failed");
+  static metrics::Gauge& active = metrics::GetGauge("node.jobs.active");
+  completed.Inc();
+  active.Add(-1.0);
+  if (!ok) {
+    ++jobs_failed_;
+    failed.Inc();
+  }
+}
+
+CreateJob NodeApi::SubmitCreate(toolstack::VmConfig config, bool wait_boot) {
+  CreateJob result(deps_.engine);
+  int64_t job = StartJob();
+  deps_.engine->Spawn(RunCreateJob(job, std::move(config), wait_boot, result));
+  return result;
+}
+
+StatusJob NodeApi::SubmitDestroy(hv::DomainId domid) {
+  StatusJob result(deps_.engine);
+  int64_t job = StartJob();
+  deps_.engine->Spawn(RunDestroyJob(job, domid, result));
+  return result;
+}
+
+StatusJob NodeApi::SubmitMigrate(hv::DomainId domid, NodeApi* target, xnet::Link* link) {
+  StatusJob result(deps_.engine);
+  int64_t job = StartJob();
+  deps_.engine->Spawn(RunMigrateJob(job, domid, target, link, result));
+  return result;
+}
+
+sim::Co<void> NodeApi::RunCreateJob(int64_t job, toolstack::VmConfig config, bool wait_boot,
+                                    CreateJob result) {
+  sim::ExecCtx ctx = Dom0Ctx().WithJob(job);
+  auto domid = co_await toolstack_->Create(ctx, std::move(config));
+  if (domid.ok() && wait_boot) {
+    co_await WaitBooted(*domid);
+  }
+  FinishJob(domid.ok());
+  result.Set(std::move(domid));
+}
+
+sim::Co<void> NodeApi::RunDestroyJob(int64_t job, hv::DomainId domid, StatusJob result) {
+  lv::Status destroyed = lv::Status::Ok();
+  {
+    VmOpGuard guard(this, domid);
+    if (!guard.held()) {
+      destroyed = lv::Err(lv::ErrorCode::kUnavailable,
+                          "concurrent lifecycle operation on domain");
+    } else {
+      destroyed = co_await toolstack_->Destroy(Dom0Ctx().WithJob(job), domid);
+    }
+  }
+  FinishJob(destroyed.ok());
+  result.Set(std::move(destroyed));
+}
+
+sim::Co<void> NodeApi::RunMigrateJob(int64_t job, hv::DomainId domid, NodeApi* target,
+                                     xnet::Link* link, StatusJob result) {
+  lv::Status status = lv::Status::Ok();
+  {
+    VmOpGuard guard(this, domid);
+    if (!guard.held()) {
+      status = lv::Err(lv::ErrorCode::kUnavailable,
+                       "concurrent lifecycle operation on domain");
+    } else {
+      auto moved = co_await toolstack::Migrate(toolstack_.get(), Dom0Ctx().WithJob(job),
+                                               domid, &target->migration_daemon(), link);
+      if (!moved.ok()) {
+        status = lv::Err(moved.error().code, moved.error().message);
+      }
+    }
+  }
+  FinishJob(status.ok());
+  result.Set(std::move(status));
+}
+
+// --- Shell pool -----------------------------------------------------------------
+
+void NodeApi::AddShellFlavor(lv::Bytes memory, bool wants_net, int target) {
+  if (chaos_daemon_) {
+    chaos_daemon_->AddFlavor(toolstack::ChaosDaemon::Flavor{memory, wants_net, target});
+  }
+}
+
+void NodeApi::PrefillShellPool() {
+  if (!chaos_daemon_) {
+    return;
+  }
+  int64_t target = 0;
+  for (const toolstack::ChaosDaemon::Flavor& f : chaos_daemon_->flavors()) {
+    target += f.target;
+  }
+  bool stocked = sim::RunUntilCondition(
+      *deps_.engine, [&] { return chaos_daemon_->pool_size() >= target; },
+      lv::Duration::Seconds(60));
+  if (!stocked) {
+    LV_WARN("node", "shell pool not fully stocked (%lld/%lld)",
+            (long long)chaos_daemon_->pool_size(), (long long)target);
+  }
+}
+
+}  // namespace lightvm

@@ -370,13 +370,16 @@ sim::Co<lv::Status> BackendDriver::XsToolstackDestroy(sim::ExecCtx ctx, xs::XsCl
   if (it == instances_.end()) {
     co_return lv::Err(lv::ErrorCode::kNotFound, "no device for domain");
   }
+  // References into instances_ survive rehashing, iterators do not — a
+  // concurrent create can insert (and rehash) while we are suspended below.
+  Instance& inst = it->second;
   // Ask the back-end to close, then remove the store entries.
   lv::Status s = co_await client->Write(ctx, BackendDir(domid) + "/state",
                                         XenbusStateValue(XenbusState::kClosing));
   if (!s.ok()) {
     co_return s;
   }
-  co_await it->second.closed->Wait();
+  co_await inst.closed->Wait();
   if (inline_hotplug != nullptr) {
     co_await UndoHotplug(ctx, inline_hotplug, domid);
   }
@@ -465,14 +468,17 @@ sim::Co<lv::Status> BackendDriver::NoxsDestroy(sim::ExecCtx ctx, hv::DomainId do
   if (it == instances_.end()) {
     co_return lv::Err(lv::ErrorCode::kNotFound, "no device for domain");
   }
+  // References into instances_ survive rehashing, iterators do not — a
+  // concurrent create can insert (and rehash) while we are suspended below.
+  Instance& inst = it->second;
   co_await ctx.Work(costs_->ioctl + costs_->noxs_teardown_extra);
   if (udev_hotplug_ != nullptr) {
     co_await UndoHotplug(ctx, udev_hotplug_, domid);
   }
-  co_await ReleaseResources(ctx, it->second);
-  it->second.closed->Trigger();
+  co_await ReleaseResources(ctx, inst);
+  inst.closed->Trigger();
   ++stats_.destroyed;
-  instances_.erase(it);
+  instances_.erase(domid);
   co_return lv::Status::Ok();
 }
 

@@ -7,19 +7,24 @@ namespace xdev {
 // Both online and offline invocations count: each is one fork/exec of the
 // script (or one xendevd binary dispatch).
 
-sim::Co<void> BashHotplug::Setup(sim::ExecCtx ctx, hv::DeviceType type) {
+sim::Co<void> BashHotplug::RunScript(sim::ExecCtx ctx, hv::DeviceType type) {
   static metrics::Counter& runs = metrics::GetCounter("devices.hotplug.bash_runs");
   runs.Inc();
+  // Uncontended, Acquire() completes synchronously (no event), so serial
+  // callers see no timing change; overlapping scripts queue FIFO.
+  co_await lock_->Acquire();
   co_await ctx.Work(type == hv::DeviceType::kBlock ? costs_->bash_block_setup
                                                    : costs_->bash_hotplug);
+  lock_->Release();
+}
+
+sim::Co<void> BashHotplug::Setup(sim::ExecCtx ctx, hv::DeviceType type) {
+  co_await RunScript(ctx, type);
 }
 
 sim::Co<void> BashHotplug::Teardown(sim::ExecCtx ctx, hv::DeviceType type) {
   // Teardown runs the same script with "offline"; same fork/exec cost class.
-  static metrics::Counter& runs = metrics::GetCounter("devices.hotplug.bash_runs");
-  runs.Inc();
-  co_await ctx.Work(type == hv::DeviceType::kBlock ? costs_->bash_block_setup
-                                                   : costs_->bash_hotplug);
+  co_await RunScript(ctx, type);
 }
 
 sim::Co<void> Xendevd::Setup(sim::ExecCtx ctx, hv::DeviceType type) {

@@ -7,11 +7,14 @@
 // forking or bash scripts" (paper §5.3).
 #pragma once
 
+#include <memory>
+
 #include "src/base/result.h"
 #include "src/devices/costs.h"
 #include "src/hv/types.h"
 #include "src/sim/cpu.h"
 #include "src/sim/engine.h"
+#include "src/sim/sync.h"
 
 namespace xdev {
 
@@ -25,16 +28,22 @@ class HotplugRunner {
   virtual const char* name() const = 0;
 };
 
-// Bash hotplug scripts invoked by xl/udevd.
+// Bash hotplug scripts invoked by xl/udevd. Script runs are serialized by a
+// global lock, as in real Xen (the scripts take a lock on entry to protect
+// shared bridge/iptables state) — concurrent creates queue behind it.
 class BashHotplug : public HotplugRunner {
  public:
-  explicit BashHotplug(const Costs* costs) : costs_(costs) {}
+  BashHotplug(sim::Engine* engine, const Costs* costs)
+      : costs_(costs), lock_(std::make_unique<sim::Semaphore>(engine, 1)) {}
   sim::Co<void> Setup(sim::ExecCtx ctx, hv::DeviceType type) override;
   sim::Co<void> Teardown(sim::ExecCtx ctx, hv::DeviceType type) override;
   const char* name() const override { return "bash-scripts"; }
 
  private:
+  sim::Co<void> RunScript(sim::ExecCtx ctx, hv::DeviceType type);
+
   const Costs* costs_;
+  std::unique_ptr<sim::Semaphore> lock_;
 };
 
 // The xendevd binary daemon.

@@ -107,11 +107,15 @@ struct ExecCtx {
   int core = 0;
   CpuOwner owner = kHostOwner;
   trace::TrackId track = trace::kHostTrack;
+  // Control-plane job id (0 = not part of an async job). Threaded into trace
+  // track names so overlapping lifecycle jobs land on distinct rows.
+  int64_t job = 0;
 
   CpuScheduler::RunAwaiter Work(Duration d) const { return cpu->Run(core, d, owner); }
-  ExecCtx OnCore(int c) const { return ExecCtx{cpu, c, owner, track}; }
-  ExecCtx As(CpuOwner o) const { return ExecCtx{cpu, core, o, track}; }
-  ExecCtx OnTrack(trace::TrackId t) const { return ExecCtx{cpu, core, owner, t}; }
+  ExecCtx OnCore(int c) const { return ExecCtx{cpu, c, owner, track, job}; }
+  ExecCtx As(CpuOwner o) const { return ExecCtx{cpu, core, o, track, job}; }
+  ExecCtx OnTrack(trace::TrackId t) const { return ExecCtx{cpu, core, owner, t, job}; }
+  ExecCtx WithJob(int64_t j) const { return ExecCtx{cpu, core, owner, track, j}; }
 };
 
 // Round-robin core placement helper mirroring the paper's experimental setup

@@ -48,7 +48,7 @@ sim::Co<lv::Result<Shell>> ChaosToolstack::ObtainShell(sim::ExecCtx ctx,
 
 sim::Co<lv::Status> ChaosToolstack::ExecutePhase(sim::ExecCtx ctx, Shell& shell,
                                                  const VmConfig& config, lv::Bytes payload,
-                                                 bool is_restore) {
+                                                 bool is_restore, CreateBreakdown& bd) {
   lv::TimePoint t0 = env_.engine->now();
   trace::Span phase(ctx.track, "create.devices");
   // Device initialization.
@@ -100,7 +100,7 @@ sim::Co<lv::Status> ChaosToolstack::ExecutePhase(sim::ExecCtx ctx, Shell& shell,
     }
   }
   phase.End();
-  breakdown_.devices += env_.engine->now() - t0;
+  bd.devices += env_.engine->now() - t0;
 
   // Image build: parse + load the kernel (or the restore stream).
   t0 = env_.engine->now();
@@ -113,7 +113,7 @@ sim::Co<lv::Status> ChaosToolstack::ExecutePhase(sim::ExecCtx ctx, Shell& shell,
   }
   (void)co_await env_.hv->CopyToDomain(ctx, shell.domid, payload);
   phase.End();
-  breakdown_.load += env_.engine->now() - t0;
+  bd.load += env_.engine->now() - t0;
   co_return lv::Status::Ok();
 }
 
@@ -134,12 +134,20 @@ sim::Co<void> ChaosToolstack::BootGuest(sim::ExecCtx ctx, const Shell& shell,
 }
 
 sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::Create(sim::ExecCtx ctx, VmConfig config) {
-  breakdown_ = CreateBreakdown{};
+  // Accumulated locally and committed to breakdown_ at every exit so that
+  // overlapping creations (concurrent jobs) do not clobber each other
+  // mid-flight; last_breakdown() reports the last creation to finish.
+  CreateBreakdown bd;
   // One trace row per creation; ExecutePhase/BootGuest spans land on it too
-  // because the track rides in ctx.
+  // because the track rides in ctx. Async jobs get the job id in the row
+  // name so overlapping creations of the same VM name stay distinguishable.
   trace::Tracer& tracer = trace::Tracer::Get();
   if (tracer.enabled()) {
-    ctx = ctx.OnTrack(tracer.NewTrack(lv::StrFormat("vm:%s", config.name.c_str())));
+    std::string row = ctx.job != 0
+                          ? lv::StrFormat("vm:%s#j%lld", config.name.c_str(),
+                                          (long long)ctx.job)
+                          : lv::StrFormat("vm:%s", config.name.c_str());
+    ctx = ctx.OnTrack(tracer.NewTrack(row));
   }
   trace::Span create_span(ctx.track, "vm.create");
   lv::TimePoint create_start = env_.engine->now();
@@ -147,27 +155,29 @@ sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::Create(sim::ExecCtx ctx, VmCon
   trace::Span phase(ctx.track, "create.config");
   co_await ctx.Work(costs_.chaos_config_parse);
   phase.End();
-  breakdown_.config = env_.engine->now() - t0;
+  bd.config = env_.engine->now() - t0;
 
   t0 = env_.engine->now();
   phase = trace::Span(ctx.track, "create.toolstack");
   co_await ctx.Work(costs_.chaos_state_keeping);
   phase.End();
-  breakdown_.toolstack = env_.engine->now() - t0;
+  bd.toolstack = env_.engine->now() - t0;
 
   t0 = env_.engine->now();
   phase = trace::Span(ctx.track, "create.hypervisor");
   auto shell = co_await ObtainShell(ctx, config);
   phase.End();
-  breakdown_.hypervisor = env_.engine->now() - t0;
+  bd.hypervisor = env_.engine->now() - t0;
   if (!shell.ok()) {
+    breakdown_ = bd;
     co_return shell.error();
   }
 
   lv::Status exec = co_await ExecutePhase(ctx, *shell, config, config.image.kernel_size,
-                                          /*is_restore=*/false);
+                                          /*is_restore=*/false, bd);
   if (!exec.ok()) {
     (void)co_await env_.hv->DomainDestroy(ctx, shell->domid);
+    breakdown_ = bd;
     co_return exec.error();
   }
   co_await BootGuest(ctx, *shell, config, /*resume=*/false);
@@ -175,6 +185,7 @@ sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::Create(sim::ExecCtx ctx, VmCon
       metrics::GetHistogram("toolstack.chaos.create_ms", "ms");
   create_ms.RecordDuration(env_.engine->now() - create_start);
   LV_DEBUG(kMod, "created dom%lld (%s)", (long long)shell->domid, config.name.c_str());
+  breakdown_ = bd;
   co_return shell->domid;
 }
 
@@ -284,8 +295,12 @@ sim::Co<lv::Status> ChaosToolstack::FinishIncoming(sim::ExecCtx ctx, hv::DomainI
   }
   Shell shell = it->second;
   pending_incoming_.erase(it);
-  lv::Status exec =
-      co_await ExecutePhase(ctx, shell, snap.config, snap.memory, /*is_restore=*/true);
+  // Restores accumulate onto the previous breakdown (matching the historical
+  // behavior of writing into the member directly).
+  CreateBreakdown bd = breakdown_;
+  lv::Status exec = co_await ExecutePhase(ctx, shell, snap.config, snap.memory,
+                                          /*is_restore=*/true, bd);
+  breakdown_ = bd;
   if (!exec.ok()) {
     co_return exec;
   }

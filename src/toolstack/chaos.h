@@ -44,8 +44,11 @@ class ChaosToolstack : public Toolstack {
   // Obtains a shell: from the pool when split, built inline otherwise.
   sim::Co<lv::Result<Shell>> ObtainShell(sim::ExecCtx ctx, const VmConfig& config);
   // Executes the per-VM phase on a shell: records/device pages, image load.
+  // Accumulates phase timings into `bd` (frame-local in the caller, so
+  // concurrent creations do not clobber each other's breakdown).
   sim::Co<lv::Status> ExecutePhase(sim::ExecCtx ctx, Shell& shell, const VmConfig& config,
-                                   lv::Bytes payload, bool is_restore);
+                                   lv::Bytes payload, bool is_restore,
+                                   CreateBreakdown& bd);
   sim::Co<lv::Status> DestroyDevices(sim::ExecCtx ctx, hv::DomainId domid,
                                      const VmConfig& config);
   // Installs the guest and unpauses.

@@ -5,8 +5,9 @@
 
 namespace toolstack {
 
-sim::Co<lv::Status> Migrate(Toolstack* local, sim::ExecCtx local_ctx, hv::DomainId domid,
-                            MigrationDaemon* remote, xnet::Link* link) {
+sim::Co<lv::Result<hv::DomainId>> Migrate(Toolstack* local, sim::ExecCtx local_ctx,
+                                          hv::DomainId domid, MigrationDaemon* remote,
+                                          xnet::Link* link) {
   const VmConfig* config_ptr = local->config_of(domid);
   if (config_ptr == nullptr) {
     co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");
@@ -31,7 +32,7 @@ sim::Co<lv::Status> Migrate(Toolstack* local, sim::ExecCtx local_ctx, hv::Domain
   // paths), then stream its memory.
   lv::Status suspended = co_await local->SuspendForMigration(local_ctx, domid);
   if (!suspended.ok()) {
-    co_return suspended;
+    co_return suspended.error();
   }
   lv::Bytes memory = config.image.memory;
   (void)co_await local->env().hv->CopyFromDomain(local_ctx, domid, memory);
@@ -55,7 +56,7 @@ sim::Co<lv::Status> Migrate(Toolstack* local, sim::ExecCtx local_ctx, hv::Domain
   lv::Status finished = co_await remote->toolstack()->FinishIncoming(
       remote->ctx(), *remote_domid, snapshot);
   if (!finished.ok()) {
-    co_return finished;
+    co_return finished.error();
   }
   remote->count_received();
 
@@ -64,7 +65,10 @@ sim::Co<lv::Status> Migrate(Toolstack* local, sim::ExecCtx local_ctx, hv::Domain
   static metrics::Histogram& migrate_ms =
       metrics::GetHistogram("toolstack.migration.migrate_ms", "ms");
   migrate_ms.RecordDuration(local->env().engine->now() - migrate_start);
-  co_return torn_down;
+  if (!torn_down.ok()) {
+    co_return torn_down.error();
+  }
+  co_return *remote_domid;
 }
 
 }  // namespace toolstack

@@ -35,10 +35,12 @@ class MigrationDaemon {
 };
 
 // Migrates `domid` from `local` to the host behind `remote` over `link`.
+// Returns the domain id the guest received on the remote host.
 // Size of the configuration blob sent before pre-creation.
 inline constexpr lv::Bytes kMigrationConfigSize = lv::Bytes::KiB(4);
 
-sim::Co<lv::Status> Migrate(Toolstack* local, sim::ExecCtx local_ctx, hv::DomainId domid,
-                            MigrationDaemon* remote, xnet::Link* link);
+sim::Co<lv::Result<hv::DomainId>> Migrate(Toolstack* local, sim::ExecCtx local_ctx,
+                                          hv::DomainId domid, MigrationDaemon* remote,
+                                          xnet::Link* link);
 
 }  // namespace toolstack

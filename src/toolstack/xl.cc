@@ -91,13 +91,22 @@ sim::Co<lv::Status> XlToolstack::WaitForState(sim::ExecCtx ctx, hv::DomainId dom
 }
 
 sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig config) {
-  breakdown_ = CreateBreakdown{};
+  // Accumulated locally and committed to breakdown_ at every exit so that
+  // overlapping creations (concurrent jobs) do not clobber each other
+  // mid-flight; last_breakdown() reports the last creation to finish.
+  CreateBreakdown bd;
   // Each creation gets its own trace row; every span below (and every
   // hypercall/store span further down the call chain) records onto it, so
-  // the Fig. 5 phase breakdown is derivable from the trace alone.
+  // the Fig. 5 phase breakdown is derivable from the trace alone. Async
+  // jobs get the job id in the row name so overlapping creations of the
+  // same VM name stay distinguishable.
   trace::Tracer& tracer = trace::Tracer::Get();
   if (tracer.enabled()) {
-    ctx = ctx.OnTrack(tracer.NewTrack(lv::StrFormat("vm:%s", config.name.c_str())));
+    std::string row = ctx.job != 0
+                          ? lv::StrFormat("vm:%s#j%lld", config.name.c_str(),
+                                          (long long)ctx.job)
+                          : lv::StrFormat("vm:%s", config.name.c_str());
+    ctx = ctx.OnTrack(tracer.NewTrack(row));
   }
   trace::Span create_span(ctx.track, "vm.create");
   lv::TimePoint create_start = env_.engine->now();
@@ -107,7 +116,7 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
   trace::Span phase(ctx.track, "create.config");
   co_await ctx.Work(costs_.xl_config_parse);
   phase.End();
-  breakdown_.config = env_.engine->now() - t0;
+  bd.config = env_.engine->now() - t0;
 
   // --- Toolstack state keeping ---------------------------------------------------
   t0 = env_.engine->now();
@@ -115,6 +124,7 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
   co_await ctx.Work(costs_.xl_state_keeping);
   auto domains = co_await env_.hv->ListDomains(ctx);
   if (!domains.ok()) {
+    breakdown_ = bd;
     co_return domains.error();
   }
   // libxl scans its own records per existing domain (name collisions,
@@ -122,13 +132,14 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
   co_await ctx.Work(costs_.xl_per_domain_overhead *
                     static_cast<double>(domains->size()));
   phase.End();
-  breakdown_.toolstack = env_.engine->now() - t0;
+  bd.toolstack = env_.engine->now() - t0;
 
   // --- Hypervisor reservation ---------------------------------------------------
   t0 = env_.engine->now();
   phase = trace::Span(ctx.track, "create.hypervisor");
   auto domid_r = co_await env_.hv->DomainCreate(ctx);
   if (!domid_r.ok()) {
+    breakdown_ = bd;
     co_return domid_r.error();
   }
   hv::DomainId domid = *domid_r;
@@ -138,19 +149,21 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
   lv::Status mem = co_await env_.hv->PopulatePhysmap(ctx, domid, config.image.memory);
   if (!mem.ok()) {
     (void)co_await env_.hv->DomainDestroy(ctx, domid);
+    breakdown_ = bd;
     co_return mem.error();
   }
   phase.End();
-  breakdown_.hypervisor = env_.engine->now() - t0;
+  bd.hypervisor = env_.engine->now() - t0;
 
   // --- XenStore records ------------------------------------------------------------
   t0 = env_.engine->now();
   phase = trace::Span(ctx.track, "create.xenstore");
   lv::Status records = co_await WriteGuestRecords(ctx, domid, config);
   phase.End();
-  breakdown_.xenstore = env_.engine->now() - t0;
+  bd.xenstore = env_.engine->now() - t0;
   if (!records.ok()) {
     (void)co_await env_.hv->DomainDestroy(ctx, domid);
+    breakdown_ = bd;
     co_return records.error();
   }
 
@@ -162,6 +175,7 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
     lv::Status s = co_await env_.netback->XsToolstackCreate(ctx, client_.get(), domid,
                                                             env_.bash_hotplug);
     if (!s.ok()) {
+      breakdown_ = bd;
       co_return s.error();
     }
   }
@@ -169,11 +183,12 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
     lv::Status s = co_await env_.blkback->XsToolstackCreate(ctx, client_.get(), domid,
                                                             env_.bash_hotplug);
     if (!s.ok()) {
+      breakdown_ = bd;
       co_return s.error();
     }
   }
   phase.End();
-  breakdown_.devices = env_.engine->now() - t0;
+  bd.devices = env_.engine->now() - t0;
 
   // --- Image build --------------------------------------------------------------------
   t0 = env_.engine->now();
@@ -182,7 +197,7 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
   co_await ctx.Work(costs_.image_parse_per_page * static_cast<double>(image_pages));
   (void)co_await env_.hv->CopyToDomain(ctx, domid, config.image.kernel_size);
   phase.End();
-  breakdown_.load = env_.engine->now() - t0;
+  bd.load = env_.engine->now() - t0;
 
   // --- Boot -------------------------------------------------------------------------
   phase = trace::Span(ctx.track, "create.boot");
@@ -200,6 +215,7 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
   static metrics::Histogram& create_ms = metrics::GetHistogram("toolstack.xl.create_ms", "ms");
   create_ms.RecordDuration(env_.engine->now() - create_start);
   LV_DEBUG(kMod, "created dom%lld (%s)", (long long)domid, config.name.c_str());
+  breakdown_ = bd;
   co_return domid;
 }
 

@@ -1,0 +1,281 @@
+// Cluster control-plane tests: placement policies over synthetic node views,
+// admission accounting, deploy/retire/migrate round-trips on real hosts, and
+// the two cluster-level guarantees — concurrent deploys never oversubscribe a
+// node, and same-seed runs place and time identically.
+#include <gtest/gtest.h>
+
+#include "src/base/strings.h"
+#include "src/cluster/cluster.h"
+#include "src/sim/run.h"
+
+namespace cluster {
+namespace {
+
+using lv::Bytes;
+using lv::Duration;
+
+toolstack::VmConfig DaytimeConfig(const std::string& name) {
+  toolstack::VmConfig config;
+  config.name = name;
+  config.image = guests::DaytimeUnikernel();
+  return config;
+}
+
+NodeView View(int index, int64_t vms, Bytes committed,
+              Bytes budget = Bytes::GiB(1), int64_t active = 0) {
+  NodeView v;
+  v.index = index;
+  v.memory_budget = budget;
+  v.memory_committed = committed;
+  v.vcpu_budget = 64;
+  v.vcpus_committed = vms;
+  v.vms = vms;
+  v.active_creates = active;
+  return v;
+}
+
+TEST(PlacementTest, AdmitsChecksBothBudgets) {
+  toolstack::VmConfig config = DaytimeConfig("vm");
+  NodeView v = View(0, 0, Bytes::MiB(0), Bytes::MiB(8));
+  EXPECT_TRUE(Admits(v, config));
+  v.memory_committed = Bytes::MiB(8) - config.image.memory + Bytes::KiB(1);
+  EXPECT_FALSE(Admits(v, config));  // Memory budget exhausted.
+  v.memory_committed = Bytes::MiB(0);
+  v.vcpus_committed = v.vcpu_budget;
+  EXPECT_FALSE(Admits(v, config));  // vCPU budget exhausted.
+}
+
+TEST(PlacementTest, FirstFitPacksLowestIndexWithBudget) {
+  toolstack::VmConfig config = DaytimeConfig("vm");
+  FirstFit policy;
+  std::vector<NodeView> nodes = {View(0, 5, Bytes::MiB(900)),
+                                 View(1, 0, Bytes::MiB(0)),
+                                 View(2, 0, Bytes::MiB(0))};
+  EXPECT_EQ(policy.Pick(nodes, config), 0);
+  nodes[0].memory_committed = nodes[0].memory_budget;  // Node 0 full.
+  EXPECT_EQ(policy.Pick(nodes, config), 1);
+}
+
+TEST(PlacementTest, LeastLoadedCountsInFlightCreates) {
+  toolstack::VmConfig config = DaytimeConfig("vm");
+  LeastLoaded policy;
+  std::vector<NodeView> nodes = {View(0, 2, Bytes::MiB(8)),
+                                 View(1, 1, Bytes::MiB(4), Bytes::GiB(1), 3),
+                                 View(2, 3, Bytes::MiB(12))};
+  // Node 1 has fewest running VMs but 3 creates in flight (load 4); node 0
+  // wins with load 2.
+  EXPECT_EQ(policy.Pick(nodes, config), 0);
+  // Ties break toward the lower index.
+  nodes[2].vms = 2;
+  EXPECT_EQ(policy.Pick(nodes, config), 0);
+}
+
+TEST(PlacementTest, MemoryBalancePicksMostFree) {
+  toolstack::VmConfig config = DaytimeConfig("vm");
+  MemoryBalance policy;
+  std::vector<NodeView> nodes = {View(0, 9, Bytes::MiB(600)),
+                                 View(1, 1, Bytes::MiB(100)),
+                                 View(2, 5, Bytes::MiB(300))};
+  EXPECT_EQ(policy.Pick(nodes, config), 1);
+  // A full node is never picked even if others are also tight.
+  nodes[1].memory_committed = nodes[1].memory_budget;
+  EXPECT_EQ(policy.Pick(nodes, config), 2);
+}
+
+TEST(PlacementTest, AllPoliciesReturnMinusOneWhenNothingAdmits) {
+  toolstack::VmConfig config = DaytimeConfig("vm");
+  std::vector<NodeView> nodes = {View(0, 0, Bytes::MiB(8), Bytes::MiB(8)),
+                                 View(1, 0, Bytes::MiB(8), Bytes::MiB(8))};
+  FirstFit ff;
+  LeastLoaded ll;
+  MemoryBalance mb;
+  EXPECT_EQ(ff.Pick(nodes, config), -1);
+  EXPECT_EQ(ll.Pick(nodes, config), -1);
+  EXPECT_EQ(mb.Pick(nodes, config), -1);
+}
+
+TEST(PlacementTest, MakePolicyByName) {
+  EXPECT_STREQ(MakePolicy("first-fit")->name(), "first-fit");
+  EXPECT_STREQ(MakePolicy("least-loaded")->name(), "least-loaded");
+  EXPECT_STREQ(MakePolicy("memory-balance")->name(), "memory-balance");
+  EXPECT_EQ(MakePolicy("round-robin"), nullptr);
+}
+
+class ClusterTest : public ::testing::Test {
+ public:
+  // Small nodes keep the tests fast: 4-core Xeon, LightVM toolstack.
+  ClusterSpec SmallSpec(int nodes) {
+    ClusterSpec spec;
+    spec.num_nodes = nodes;
+    spec.node = lightvm::HostSpec::Xeon4Core();
+    spec.mechanisms = lightvm::Mechanisms::LightVm();
+    return spec;
+  }
+
+  void Prefill(Cluster& cl) {
+    for (int n = 0; n < cl.num_nodes(); ++n) {
+      cl.host(n).AddShellFlavor(guests::DaytimeUnikernel().memory, true, 4);
+      cl.host(n).PrefillShellPool();
+    }
+  }
+
+  template <typename T>
+  T Run(sim::Co<T> co) {
+    return sim::RunToCompletion(engine_, std::move(co));
+  }
+
+  sim::Engine engine_{1};
+};
+
+TEST_F(ClusterTest, DeployRetireRoundTripKeepsAccounting) {
+  Cluster cl(&engine_, SmallSpec(2), std::make_unique<LeastLoaded>());
+  Prefill(cl);
+  std::vector<Bytes> baseline;
+  for (int n = 0; n < 2; ++n) {
+    baseline.push_back(cl.host(n).MemoryUsed());
+  }
+
+  std::vector<VmHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    auto h = Run(cl.Deploy(DaytimeConfig(lv::StrFormat("vm%d", i)), true));
+    ASSERT_TRUE(h.ok()) << h.error().message;
+    handles.push_back(*h);
+  }
+  // Least-loaded spreads 4 serial deploys 2/2.
+  EXPECT_EQ(cl.host(0).num_vms(), 2);
+  EXPECT_EQ(cl.host(1).num_vms(), 2);
+  EXPECT_EQ(cl.total_vms(), 4);
+  EXPECT_EQ(cl.vms_deployed(), 4);
+  for (const NodeView& v : cl.views()) {
+    EXPECT_EQ(v.memory_committed, guests::DaytimeUnikernel().memory * 2);
+    EXPECT_EQ(v.vcpus_committed, 2);
+    EXPECT_EQ(v.vms, 2);
+    EXPECT_EQ(v.active_creates, 0);
+  }
+
+  for (const VmHandle& h : handles) {
+    EXPECT_TRUE(Run(cl.Retire(h)).ok());
+  }
+  EXPECT_EQ(cl.total_vms(), 0);
+  for (const NodeView& v : cl.views()) {
+    EXPECT_EQ(v.memory_committed, Bytes());
+    EXPECT_EQ(v.vcpus_committed, 0);
+  }
+  // No leaked domains or pages on either host.
+  for (int n = 0; n < 2; ++n) {
+    EXPECT_EQ(cl.host(n).MemoryUsed(), baseline[static_cast<size_t>(n)]);
+    EXPECT_EQ(cl.host(n).hv().NumDomainsInState(hv::DomainState::kDead), 0);
+  }
+  // Retiring a stale handle fails cleanly.
+  EXPECT_EQ(Run(cl.Retire(handles[0])).code(), lv::ErrorCode::kNotFound);
+}
+
+TEST_F(ClusterTest, MigrateRehomesVmAndMovesBudget) {
+  Cluster cl(&engine_, SmallSpec(2), std::make_unique<FirstFit>());
+  Prefill(cl);
+  auto h = Run(cl.Deploy(DaytimeConfig("mig0"), true));
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->node, 0);  // First-fit lands on node 0.
+
+  auto moved = Run(cl.Migrate(*h, 1));
+  ASSERT_TRUE(moved.ok()) << moved.error().message;
+  EXPECT_EQ(moved->node, 1);
+  EXPECT_EQ(cl.migrations(), 1);
+  EXPECT_EQ(cl.host(0).num_vms(), 0);
+  EXPECT_EQ(cl.host(1).num_vms(), 1);
+  EXPECT_EQ(cl.host(1).migration_daemon().migrations_received(), 1);
+  EXPECT_EQ(cl.view(0).memory_committed, Bytes());
+  EXPECT_EQ(cl.view(1).memory_committed, guests::DaytimeUnikernel().memory);
+
+  EXPECT_TRUE(Run(cl.Retire(*moved)).ok());
+  EXPECT_EQ(cl.total_vms(), 0);
+}
+
+TEST_F(ClusterTest, AdmissionRejectsWhenEveryNodeIsFull) {
+  ClusterSpec spec = SmallSpec(2);
+  // Budget for exactly three daytime unikernels per node.
+  spec.memory_budget = guests::DaytimeUnikernel().memory * 3;
+  Cluster cl(&engine_, spec, std::make_unique<FirstFit>());
+  Prefill(cl);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(Run(cl.Deploy(DaytimeConfig(lv::StrFormat("vm%d", i)), true)).ok());
+  }
+  auto overflow = Run(cl.Deploy(DaytimeConfig("vm6"), true));
+  EXPECT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.error().code, lv::ErrorCode::kUnavailable);
+  EXPECT_EQ(cl.admission_rejects(), 1);
+  EXPECT_EQ(cl.deploy_failures(), 1);
+  EXPECT_EQ(cl.total_vms(), 6);
+}
+
+// The core admission guarantee: budgets are committed before the first
+// suspension point, so even deploys launched in the same event cannot
+// collectively oversubscribe a node.
+TEST_F(ClusterTest, ConcurrentDeploysNeverOversubscribe) {
+  ClusterSpec spec = SmallSpec(2);
+  spec.memory_budget = guests::DaytimeUnikernel().memory * 2;  // 4 slots total.
+  Cluster cl(&engine_, spec, std::make_unique<LeastLoaded>());
+  Prefill(cl);
+
+  int ok = 0;
+  int rejected = 0;
+  int done = 0;
+  auto deploy = [&](int i) -> sim::Co<void> {
+    auto h = co_await cl.Deploy(DaytimeConfig(lv::StrFormat("vm%d", i)), true);
+    if (h.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(h.error().code, lv::ErrorCode::kUnavailable);
+      ++rejected;
+    }
+    ++done;
+  };
+  for (int i = 0; i < 7; ++i) {
+    engine_.Spawn(deploy(i));
+  }
+  ASSERT_TRUE(sim::RunUntilCondition(engine_, [&] { return done == 7; },
+                                     Duration::Seconds(60)));
+  EXPECT_EQ(ok, 4);
+  EXPECT_EQ(rejected, 3);
+  EXPECT_EQ(cl.admission_rejects(), 3);
+  EXPECT_EQ(cl.total_vms(), 4);
+  for (const NodeView& v : cl.views()) {
+    EXPECT_LE(v.memory_committed, v.memory_budget);
+    EXPECT_EQ(v.vms, 2);
+  }
+}
+
+// Same seed, same workload → identical placements and identical virtual time.
+TEST_F(ClusterTest, SameSeedRunsAreIdentical) {
+  auto run_once = [this](uint64_t seed) {
+    sim::Engine engine(seed);
+    ClusterSpec spec = SmallSpec(3);
+    Cluster cl(&engine, spec, std::make_unique<LeastLoaded>());
+    for (int n = 0; n < 3; ++n) {
+      cl.host(n).AddShellFlavor(guests::DaytimeUnikernel().memory, true, 4);
+      cl.host(n).PrefillShellPool();
+    }
+    std::vector<int> nodes(12, -1);
+    int done = 0;
+    auto deploy = [&](int i) -> sim::Co<void> {
+      auto h = co_await cl.Deploy(DaytimeConfig(lv::StrFormat("vm%d", i)), true);
+      LV_CHECK(h.ok());
+      nodes[static_cast<size_t>(i)] = h->node;
+      ++done;
+    };
+    for (int i = 0; i < 12; ++i) {
+      engine.Spawn(deploy(i));
+    }
+    bool finished = sim::RunUntilCondition(engine, [&] { return done == 12; },
+                                           Duration::Seconds(60));
+    LV_CHECK(finished);
+    return std::make_pair(nodes, engine.now().ns());
+  };
+  auto [nodes_a, ns_a] = run_once(7);
+  auto [nodes_b, ns_b] = run_once(7);
+  EXPECT_EQ(nodes_a, nodes_b);
+  EXPECT_EQ(ns_a, ns_b);
+}
+
+}  // namespace
+}  // namespace cluster

@@ -266,6 +266,156 @@ TEST_F(CoreTest, CreationTimeStaysFlatUnderLightVm) {
   EXPECT_LT(last.ns(), first.ns() * 2);
 }
 
+// Concurrent-job lifecycle: overlapping creates, destroys and a migration
+// submitted through the NodeApi job layer must interleave safely on every
+// toolstack variant — and leave no domains, pages, grants or channels behind.
+TEST_F(CoreTest, ConcurrentLifecycleJobsAcrossMechanisms) {
+  for (Mechanisms m : {Mechanisms::Xl(), Mechanisms::ChaosXs(), Mechanisms::ChaosNoxs(),
+                       Mechanisms::LightVm()}) {
+    auto src = MakeHost(m);
+    auto dst = MakeHost(m);
+    xnet::Link link(&engine_, 10.0, Duration::MillisF(0.2));
+    lv::Bytes baseline = src->MemoryUsed();
+    int64_t channels = src->hv().event_channels().open_channels();
+    int64_t grants = src->hv().grant_table().active_grants();
+
+    // Phase 1: six creates in flight at once.
+    std::vector<CreateJob> creates;
+    for (int i = 0; i < 6; ++i) {
+      creates.push_back(
+          src->node().SubmitCreate(DaytimeConfig(lv::StrFormat("j%d", i)), true));
+    }
+    ASSERT_TRUE(sim::RunUntilCondition(
+        engine_,
+        [&] {
+          for (CreateJob& job : creates) {
+            if (!job.has_value()) {
+              return false;
+            }
+          }
+          return true;
+        },
+        Duration::Seconds(60)))
+        << m.label();
+    std::vector<hv::DomainId> ids;
+    for (CreateJob& job : creates) {
+      ASSERT_TRUE(job.value().ok()) << m.label() << ": " << job.value().error().message;
+      ids.push_back(*job.value());
+    }
+    EXPECT_EQ(src->num_vms(), 6) << m.label();
+    EXPECT_EQ(src->node().jobs_started(), 6) << m.label();
+    EXPECT_EQ(src->node().jobs_completed(), 6) << m.label();
+    EXPECT_EQ(src->node().jobs_failed(), 0) << m.label();
+
+    // Phase 2: destroys, a migration and fresh creates all overlapping.
+    std::vector<StatusJob> destroys;
+    for (int i = 0; i < 3; ++i) {
+      destroys.push_back(src->node().SubmitDestroy(ids[static_cast<size_t>(i)]));
+    }
+    StatusJob migrate = src->node().SubmitMigrate(ids[3], &dst->node(), &link);
+    std::vector<CreateJob> more;
+    for (int i = 6; i < 8; ++i) {
+      more.push_back(
+          src->node().SubmitCreate(DaytimeConfig(lv::StrFormat("j%d", i)), true));
+    }
+    ASSERT_TRUE(sim::RunUntilCondition(
+        engine_,
+        [&] {
+          for (StatusJob& job : destroys) {
+            if (!job.has_value()) {
+              return false;
+            }
+          }
+          for (CreateJob& job : more) {
+            if (!job.has_value()) {
+              return false;
+            }
+          }
+          return migrate.has_value();
+        },
+        Duration::Seconds(60)))
+        << m.label();
+    for (StatusJob& job : destroys) {
+      EXPECT_TRUE(job.value().ok()) << m.label();
+    }
+    EXPECT_TRUE(migrate.value().ok()) << m.label();
+    EXPECT_EQ(dst->num_vms(), 1) << m.label();
+    EXPECT_EQ(dst->migration_daemon().migrations_received(), 1) << m.label();
+    for (CreateJob& job : more) {
+      ASSERT_TRUE(job.value().ok()) << m.label();
+      ids.push_back(*job.value());
+    }
+
+    // Phase 3: tear the rest down; resources must return to baseline.
+    EXPECT_EQ(src->num_vms(), 4) << m.label();  // 6 - 3 destroyed - 1 migrated + 2.
+    for (hv::DomainId id : {ids[4], ids[5], ids[6], ids[7]}) {
+      ASSERT_TRUE(Run(src->DestroyVm(id)).ok()) << m.label();
+    }
+    EXPECT_EQ(src->num_vms(), 0) << m.label();
+    EXPECT_EQ(src->MemoryUsed(), baseline) << m.label();
+    EXPECT_EQ(src->hv().event_channels().open_channels(), channels) << m.label();
+    EXPECT_EQ(src->hv().grant_table().active_grants(), grants) << m.label();
+    EXPECT_EQ(src->hv().NumDomainsInState(hv::DomainState::kDead), 0) << m.label();
+  }
+}
+
+// Two destroy jobs for the same domain: the in-flight guard lets exactly one
+// proceed; the other fails with kUnavailable instead of racing the teardown.
+TEST_F(CoreTest, ConcurrentDestroyJobsAreMutuallyExclusive) {
+  auto host = MakeHost(Mechanisms::LightVm());
+  auto [domid, elapsed] = CreateBootTimed(*host, DaytimeConfig("vm0"));
+  StatusJob first = host->node().SubmitDestroy(domid);
+  StatusJob second = host->node().SubmitDestroy(domid);
+  ASSERT_TRUE(sim::RunUntilCondition(
+      engine_, [&] { return first.has_value() && second.has_value(); },
+      Duration::Seconds(10)));
+  EXPECT_TRUE(first.value().ok());
+  EXPECT_EQ(second.value().code(), lv::ErrorCode::kUnavailable);
+  EXPECT_EQ(host->num_vms(), 0);
+  EXPECT_EQ(host->node().jobs_failed(), 1);
+}
+
+// The same concurrent workload on two same-seed engines produces identical
+// domain ids and identical virtual timing.
+TEST_F(CoreTest, ConcurrentJobsAreDeterministic) {
+  auto run_once = [](Mechanisms m) {
+    sim::Engine engine(42);
+    Host host(&engine, HostSpec::Xeon4Core(), m);
+    if (m.split) {
+      host.AddShellFlavor(guests::DaytimeUnikernel().memory, true, 4);
+      host.PrefillShellPool();
+    }
+    std::vector<CreateJob> jobs;
+    for (int i = 0; i < 8; ++i) {
+      jobs.push_back(
+          host.node().SubmitCreate(DaytimeConfig(lv::StrFormat("d%d", i)), true));
+    }
+    bool done = sim::RunUntilCondition(
+        engine,
+        [&] {
+          for (CreateJob& job : jobs) {
+            if (!job.has_value()) {
+              return false;
+            }
+          }
+          return true;
+        },
+        Duration::Seconds(60));
+    LV_CHECK(done);
+    std::vector<hv::DomainId> ids;
+    for (CreateJob& job : jobs) {
+      ids.push_back(job.value().ok() ? *job.value() : hv::kInvalidDomain);
+    }
+    return std::make_pair(ids, engine.now());
+  };
+  for (Mechanisms m : {Mechanisms::Xl(), Mechanisms::LightVm()}) {
+    auto [ids_a, now_a] = run_once(m);
+    auto [ids_b, now_b] = run_once(m);
+    EXPECT_EQ(ids_a, ids_b) << m.label();
+    EXPECT_EQ(now_a.ns(), now_b.ns()) << m.label();
+  }
+}
+
 TEST_F(CoreTest, CreationTimeGrowsUnderXl) {
   auto host = MakeHost(Mechanisms::Xl());
   Duration first;

@@ -25,7 +25,7 @@ class DevicesTest : public ::testing::Test {
         hv_(&engine_, lv::Bytes::GiB(16)),
         switch_(&engine_),
         store_(&engine_),
-        bash_(&costs_),
+        bash_(&engine_, &costs_),
         xendevd_(&costs_) {
     store_.Start(Dom0Ctx());
     toolstack_client_ = std::make_unique<xs::XsClient>(&engine_, &store_, hv::kDom0);
