@@ -1,0 +1,106 @@
+// scenario_runner — executes a declarative scenario spec (scenarios/*.json)
+// over the same control plane the fig* binaries drive. One binary, many
+// experiments: the spec describes topology, mechanisms, guest mix and
+// workload; the runner prints deterministic tables and emits the same
+// schema-versioned BENCH_<name>.json artifacts as the dedicated binaries.
+//
+//   scenario_runner <spec.json> [--json=<file>] [--trace-out=<file>]
+//                   [--metrics-out=<file>] [--check]
+//
+//   --json         machine-readable results (lightvm-bench/1 schema)
+//   --trace-out    Chrome trace_event JSON of the final engine epoch
+//   --metrics-out  metrics-registry snapshot at end of run
+//   --check        parse + validate the spec, print a summary, run nothing
+//
+// Examples:
+//   scenario_runner scenarios/fig04_instantiation.json --json=BENCH_fig04.json
+//   scenario_runner scenarios/churn_storm.json --trace-out=churn_trace.json
+//   scenario_runner scenarios/ci/fleet_ci.json --check
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/scenario/runner.h"
+#include "src/scenario/spec.h"
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <spec.json> [--json=<file>] [--trace-out=<file>] "
+               "[--metrics-out=<file>] [--check]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  scenario::RunOptions options;
+  bool check_only = false;
+  std::vector<char*> report_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    char* arg = argv[i];
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      report_args.push_back(arg);
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      options.trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      options.metrics_out = arg + 14;
+    } else if (std::strcmp(arg, "--check") == 0) {
+      check_only = true;
+    } else if (arg[0] == '-') {
+      Usage(argv[0]);
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (spec_path.empty()) {
+    Usage(argv[0]);
+  }
+
+  auto spec = scenario::LoadSpecFile(spec_path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "invalid scenario: %s\n", spec.error().message.c_str());
+    return 1;
+  }
+  if (check_only) {
+    std::printf("OK: %s (workload=%s, nodes=%d, seed=%llu)\n", spec->name.c_str(),
+                scenario::WorkloadKindName(spec->workload.kind),
+                spec->topology.nodes, (unsigned long long)spec->seed);
+    return 0;
+  }
+
+  int report_argc = static_cast<int>(report_args.size());
+  bench::Report::Get().Init(report_argc, report_args.data(), spec->name);
+  bench::Report::Get().SetTitle(
+      spec->title.empty() ? spec->name : spec->title,
+      lv::StrFormat("scenario %s: %s on %s, %d node(s), seed %llu",
+                    spec_path.c_str(), scenario::WorkloadKindName(spec->workload.kind),
+                    spec->topology.host.preset.c_str(), spec->topology.nodes,
+                    (unsigned long long)spec->seed));
+  bench::Report::Get().Config("seed", static_cast<double>(spec->seed));
+  bench::Report::Get().Config("mechanisms", spec->mechanisms);
+  bench::Report::Get().Config("workload", scenario::WorkloadKindName(spec->workload.kind));
+  bench::Report::Get().Config("host_preset", spec->topology.host.preset);
+  bench::Report::Get().Config("nodes", static_cast<double>(spec->topology.nodes));
+  bench::Report::Get().Config("spec", spec_path);
+
+  auto result = scenario::Run(
+      *spec, options, std::cout,
+      [](const std::string& series,
+         const std::vector<std::pair<std::string, double>>& row) {
+        bench::Report::Get().Point(series, row);
+      });
+  if (!result.ok()) {
+    bench::FailRun(result.error().message);
+  }
+  bench::Report::Get().Write();
+  return 0;
+}

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Unit tests for the regression math in bench_diff.py.
+
+Runs bench_diff.py as a subprocess against synthetic BENCH documents and
+checks the exit code, so the test exercises exactly what CI exercises
+(argument parsing, gating defaults, thresholds) rather than internals.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+BENCH_DIFF = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "bench_diff.py")
+
+
+def make_doc(points, columns=("n", "create_ms", "boot_ms"), name="t"):
+    return {
+        "schema": "lightvm-bench/1",
+        "name": name,
+        "title": name,
+        "config": {},
+        "series": {
+            "vm": {"columns": list(columns), "points": points},
+        },
+        "metrics": {},
+    }
+
+
+class BenchDiffTest(unittest.TestCase):
+    def run_diff(self, old, new, *extra):
+        with tempfile.TemporaryDirectory() as d:
+            old_path = os.path.join(d, "old.json")
+            new_path = os.path.join(d, "new.json")
+            with open(old_path, "w") as f:
+                json.dump(old, f)
+            with open(new_path, "w") as f:
+                json.dump(new, f)
+            proc = subprocess.run(
+                [sys.executable, BENCH_DIFF, old_path, new_path] + list(extra),
+                capture_output=True, text=True)
+        return proc
+
+    def test_identical_passes(self):
+        doc = make_doc([[1, 10.0, 100.0], [2, 11.0, 105.0]])
+        proc = self.run_diff(doc, copy.deepcopy(doc))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("OK:", proc.stdout)
+
+    def test_improvement_passes(self):
+        old = make_doc([[1, 10.0, 100.0], [2, 11.0, 105.0]])
+        new = make_doc([[1, 5.0, 50.0], [2, 6.0, 55.0]])
+        proc = self.run_diff(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_regression_on_gated_column_fails(self):
+        old = make_doc([[1, 10.0, 100.0], [2, 10.0, 100.0]])
+        # create_ms regresses by 50% on every point; boot_ms unchanged.
+        new = make_doc([[1, 15.0, 100.0], [2, 15.0, 100.0]])
+        proc = self.run_diff(old, new, "--threshold", "10")
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("REGRESSION: vm/create_ms", proc.stdout)
+        self.assertNotIn("REGRESSION: vm/boot_ms", proc.stdout)
+
+    def test_regression_below_threshold_passes(self):
+        old = make_doc([[1, 100.0, 100.0]])
+        new = make_doc([[1, 105.0, 100.0]])  # +5% < 10% threshold
+        proc = self.run_diff(old, new, "--threshold", "10")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_single_bad_point_fails_by_default(self):
+        old = make_doc([[i, 100.0, 100.0] for i in range(10)])
+        new_points = [[i, 100.0, 100.0] for i in range(10)]
+        new_points[7][1] = 130.0  # one +30% point; mean is only +3%
+        proc = self.run_diff(old, make_doc(new_points), "--threshold", "10")
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("point 7", proc.stdout)
+
+    def test_single_bad_point_passes_with_mean_only(self):
+        old = make_doc([[i, 100.0, 100.0] for i in range(10)])
+        new_points = [[i, 100.0, 100.0] for i in range(10)]
+        new_points[7][1] = 130.0
+        proc = self.run_diff(old, make_doc(new_points), "--threshold", "10",
+                             "--mean-only")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_non_gated_column_regression_ignored(self):
+        # "n" has no _ms/_s suffix: a change there is informational only.
+        old = make_doc([[10, 10.0, 100.0]])
+        new = make_doc([[99, 10.0, 100.0]])
+        proc = self.run_diff(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_explicit_gate_narrows_selection(self):
+        old = make_doc([[1, 10.0, 100.0]])
+        new = make_doc([[1, 20.0, 200.0]])  # both timing columns +100%
+        # Only boot_ms is gated, but it regressed too -> still fails...
+        proc = self.run_diff(old, new, "--gate", "vm:boot_ms")
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("REGRESSION: vm/boot_ms", proc.stdout)
+        self.assertNotIn("REGRESSION: vm/create_ms", proc.stdout)
+        # ...and gating a different series entirely ignores this one.
+        proc = self.run_diff(old, new, "--gate", "other")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_zero_baseline_points_skipped(self):
+        old = make_doc([[1, 0.0, 100.0], [2, 10.0, 100.0]])
+        new = make_doc([[1, 50.0, 100.0], [2, 10.0, 100.0]])
+        proc = self.run_diff(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_point_count_mismatch_is_an_error(self):
+        old = make_doc([[1, 10.0, 100.0], [2, 10.0, 100.0]])
+        new = make_doc([[1, 10.0, 100.0]])
+        proc = self.run_diff(old, new)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+    def test_schema_mismatch_is_an_error(self):
+        old = make_doc([[1, 10.0, 100.0]])
+        new = make_doc([[1, 10.0, 100.0]])
+        new["schema"] = "lightvm-bench/999"
+        proc = self.run_diff(old, new)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+    def test_name_mismatch_is_an_error(self):
+        old = make_doc([[1, 10.0, 100.0]], name="a")
+        new = make_doc([[1, 10.0, 100.0]], name="b")
+        proc = self.run_diff(old, new)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+    def test_missing_series_is_an_error(self):
+        old = make_doc([[1, 10.0, 100.0]])
+        new = make_doc([[1, 10.0, 100.0]])
+        new["series"]["renamed"] = new["series"].pop("vm")
+        proc = self.run_diff(old, new)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

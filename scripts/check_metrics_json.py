@@ -20,10 +20,16 @@ Usage:
                                              byte-identical with and without
                                              --json (metrics must never
                                              perturb the printed figures)
+  check_metrics_json.py --bench <scenario_runner> --bench-arg <spec.json>
+                                             same, for binaries that take
+                                             positional arguments before
+                                             --json (--bench-arg repeats)
 
 The --bench form is registered as a ctest so the end-to-end path
 (instrumented hot paths -> registry -> bench exporter -> loadable JSON)
-stays green.
+stays green. The fig04 quantile cross-check fires when the document's
+"name" contains "fig04" (falling back to the filename for pre-scenario
+artifacts), so it covers scenario_runner output too.
 """
 
 import argparse
@@ -121,7 +127,17 @@ def cross_check_create_ms(path, doc):
               (key, approx, exact, rel))
 
 
-def validate(path, expect_fig04=False):
+def is_fig04(path, doc):
+    """The quantile cross-check applies to any fig04-shaped run: detect it
+    from the document's own name so renamed output paths (CI artifact dirs,
+    scenario_runner --json targets) still get the stronger check."""
+    name = doc.get("name")
+    if isinstance(name, str) and name:
+        return "fig04" in name
+    return "fig04" in os.path.basename(path)
+
+
+def validate(path):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -153,27 +169,26 @@ def validate(path, expect_fig04=False):
           (path, len(doc["series"]), n_points, len(metrics["counters"]),
            len(metrics["histograms"])))
 
-    if expect_fig04:
+    if is_fig04(path, doc):
         cross_check_create_ms(path, doc)
 
 
-def run_bench(bench):
+def run_bench(bench, bench_args):
     with tempfile.TemporaryDirectory() as tmp:
         out = os.path.join(tmp, "BENCH.json")
         # Run once plain and once with --json: the printed tables must be
         # byte-identical (always-on metrics may not perturb any figure).
-        plain = subprocess.run([bench], stdout=subprocess.PIPE)
+        plain = subprocess.run([bench] + bench_args, stdout=subprocess.PIPE)
         if plain.returncode != 0:
             fail("%s exited %d" % (bench, plain.returncode))
-        with_json = subprocess.run([bench, "--json=%s" % out],
+        with_json = subprocess.run([bench] + bench_args + ["--json=%s" % out],
                                    stdout=subprocess.PIPE)
         if with_json.returncode != 0:
             fail("%s --json exited %d" % (bench, with_json.returncode))
         if plain.stdout != with_json.stdout:
             fail("%s: stdout differs with vs without --json" % bench)
         print("OK: stdout byte-identical with and without --json")
-        is_fig04 = "fig04" in os.path.basename(bench)
-        validate(out, expect_fig04=is_fig04)
+        validate(out)
 
 
 def main():
@@ -181,15 +196,21 @@ def main():
     parser.add_argument("files", nargs="*", help="BENCH JSON files to validate")
     parser.add_argument("--bench", help="path to a bench binary; runs it "
                         "with --json first")
+    parser.add_argument("--bench-arg", action="append", default=[],
+                        help="extra argument passed to the --bench binary "
+                        "before --json (repeatable; e.g. a scenario spec "
+                        "path for scenario_runner)")
     args = parser.parse_args()
     if not args.files and not args.bench:
         parser.error("give BENCH files and/or --bench")
+    if args.bench_arg and not args.bench:
+        parser.error("--bench-arg requires --bench")
 
     for path in args.files:
-        validate(path, expect_fig04="fig04" in os.path.basename(path))
+        validate(path)
 
     if args.bench:
-        run_bench(args.bench)
+        run_bench(args.bench, args.bench_arg)
 
 
 if __name__ == "__main__":

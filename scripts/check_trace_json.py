@@ -9,9 +9,14 @@ Usage:
   check_trace_json.py trace.json ...        validate existing file(s)
   check_trace_json.py --cli <chaos_cli>     run chaos_cli --trace-out and
                                             validate what it writes
+  check_trace_json.py --run <cmd> [arg...]  run any command that accepts a
+                                            --trace-out=<path> flag (appended
+                                            automatically; e.g.
+                                            --run scenario_runner spec.json)
+                                            and validate what it writes
 
-The --cli form is registered as a ctest so the end-to-end path (instrumented
-control plane -> exporter -> loadable JSON) stays green.
+The --cli and --run forms are registered as ctests so the end-to-end path
+(instrumented control plane -> exporter -> loadable JSON) stays green.
 """
 
 import argparse
@@ -97,12 +102,27 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("files", nargs="*", help="trace JSON files to validate")
     parser.add_argument("--cli", help="path to chaos_cli; generates a trace first")
+    parser.add_argument("--run", nargs=argparse.REMAINDER,
+                        help="command to run with --trace-out=<tmp> appended; "
+                        "consumes the rest of the argv")
     args = parser.parse_args()
-    if not args.files and not args.cli:
-        parser.error("give trace files and/or --cli")
+    if not args.files and not args.cli and not args.run:
+        parser.error("give trace files, --cli, and/or --run")
 
     for path in args.files:
         validate(path)
+
+    if args.run:
+        with tempfile.TemporaryDirectory() as tmp:
+            out = os.path.join(tmp, "trace.json")
+            proc = subprocess.run(args.run + ["--trace-out=%s" % out],
+                                  stdout=subprocess.PIPE,
+                                  stderr=subprocess.STDOUT)
+            if proc.returncode != 0:
+                fail("%s exited %d:\n%s" %
+                     (" ".join(args.run), proc.returncode,
+                      proc.stdout.decode()))
+            validate(out)
 
     if args.cli:
         with tempfile.TemporaryDirectory() as tmp:

@@ -1,0 +1,596 @@
+#include "src/scenario/runner.h"
+
+#include <algorithm>
+#include <ostream>
+#include <tuple>
+
+#include "src/base/stats.h"
+#include "src/base/strings.h"
+#include "src/cluster/cluster.h"
+#include "src/container/container.h"
+#include "src/metrics/export.h"
+#include "src/sim/run.h"
+#include "src/toolstack/config.h"
+#include "src/trace/export.h"
+#include "src/trace/trace.h"
+
+namespace scenario {
+
+namespace {
+
+using lv::Err;
+using lv::ErrorCode;
+
+// Matches the bench harness's sampling: ~`points` printed rows out of
+// [1, total], always including the first and last.
+bool Sampled(int i, int total, int points) {
+  if (i == 1 || i == total) {
+    return true;
+  }
+  int step = total / points;
+  if (step == 0) {
+    return true;
+  }
+  return i % step == 0;
+}
+
+// Create-and-boot timing with the exact measurement semantics of the fig*
+// binaries (bench::CreateBootTimed): create_ms spans the CreateVm call,
+// boot_ms spans unpause to the guest's boot signal, 600 s boot horizon.
+struct CreateTiming {
+  hv::DomainId domid = hv::kInvalidDomain;
+  double create_ms = 0.0;
+  double boot_ms = 0.0;
+  bool ok = false;
+  std::string error;
+};
+
+CreateTiming CreateBootTimed(sim::Engine& engine, lightvm::Host& host,
+                             toolstack::VmConfig config) {
+  CreateTiming timing;
+  lv::TimePoint t0 = engine.now();
+  auto domid = sim::RunToCompletion(engine, host.CreateVm(std::move(config)));
+  if (!domid.ok()) {
+    timing.error = domid.error().ToString();
+    return timing;
+  }
+  timing.domid = *domid;
+  timing.create_ms = (engine.now() - t0).ms();
+  lv::TimePoint t1 = engine.now();
+  guests::Guest* guest = host.guest(*domid);
+  if (guest != nullptr) {
+    bool booted = sim::RunUntilCondition(engine, [&] { return guest->booted(); },
+                                         lv::Duration::Seconds(600));
+    if (!booted) {
+      timing.error = "boot timed out";
+      return timing;
+    }
+    timing.boot_ms = (guest->booted_at() - t1).ms();
+  }
+  timing.ok = true;
+  return timing;
+}
+
+// --- Churn storm ------------------------------------------------------------
+
+struct ChurnOp {
+  int op = 0;
+  int kind = 0;  // 0 = create, 1 = destroy
+  double ms = 0.0;
+};
+
+struct ChurnState {
+  sim::Engine* engine = nullptr;
+  lightvm::Host* host = nullptr;
+  const WorkloadConfig* w = nullptr;
+  guests::GuestImage image;
+  lv::Rng rng{1};
+  int next_op = 0;
+  int done_ops = 0;
+  int64_t creates = 0;
+  int64_t destroys = 0;
+  int64_t create_failures = 0;
+  int64_t destroy_failures = 0;
+  std::vector<hv::DomainId> live;
+  lv::Samples create_ms;
+  lv::Samples destroy_ms;
+  std::vector<ChurnOp> oplog;
+};
+
+// One churn worker: picks the next operation index and decides create vs
+// destroy. Destroy victims are removed from `live` before the first
+// suspension point, so concurrent workers never race on one domain (the
+// NodeApi per-domain exclusion would reject the loser anyway; removing
+// first keeps the storm conflict-free and the accounting simple).
+sim::Co<void> ChurnWorker(ChurnState* st) {
+  while (st->next_op < st->w->operations) {
+    int op = st->next_op++;
+    bool destroy =
+        !st->live.empty() &&
+        (static_cast<int>(st->live.size()) >= st->w->max_live ||
+         st->rng.Chance(st->w->destroy_fraction));
+    lv::TimePoint t0 = st->engine->now();
+    if (destroy) {
+      size_t idx = static_cast<size_t>(
+          st->rng.Uniform(0, static_cast<int64_t>(st->live.size()) - 1));
+      hv::DomainId domid = st->live[idx];
+      st->live.erase(st->live.begin() + static_cast<long>(idx));
+      lv::Status status = co_await st->host->node().SubmitDestroy(domid).Get();
+      double ms = (st->engine->now() - t0).ms();
+      if (status.ok()) {
+        ++st->destroys;
+        st->destroy_ms.Add(ms);
+      } else {
+        ++st->destroy_failures;
+      }
+      st->oplog.push_back({op, 1, ms});
+    } else {
+      toolstack::VmConfig config;
+      config.name = lv::StrFormat("churn%d", op);
+      config.image = st->image;
+      auto domid = co_await st->host->node().SubmitCreate(std::move(config),
+                                                          /*wait_boot=*/true)
+                       .Get();
+      double ms = (st->engine->now() - t0).ms();
+      if (domid.ok()) {
+        st->live.push_back(*domid);
+        ++st->creates;
+        st->create_ms.Add(ms);
+      } else {
+        ++st->create_failures;
+      }
+      st->oplog.push_back({op, 0, ms});
+    }
+    ++st->done_ops;
+  }
+}
+
+// --- Fleet deploy -----------------------------------------------------------
+
+struct FleetState {
+  sim::Engine* engine = nullptr;
+  cluster::Cluster* cl = nullptr;
+  const WorkloadConfig* w = nullptr;
+  guests::GuestImage image;
+  int next = 0;
+  int done = 0;
+  bool failed = false;
+  std::string error;
+  std::vector<int> node;
+  std::vector<double> deploy_ms;
+};
+
+sim::Co<void> FleetWorker(FleetState* st) {
+  while (st->next < st->w->vms && !st->failed) {
+    int i = st->next++;
+    toolstack::VmConfig config;
+    config.name = lv::StrFormat("fleet%d", i);
+    config.image = st->image;
+    lv::TimePoint t0 = st->engine->now();
+    auto handle = co_await st->cl->Deploy(std::move(config), st->w->wait_boot);
+    if (!handle.ok()) {
+      st->failed = true;
+      st->error = lv::StrFormat("deploy of vm %d failed: %s", i,
+                                handle.error().message.c_str());
+      ++st->done;
+      co_return;
+    }
+    st->node[static_cast<size_t>(i)] = handle->node;
+    st->deploy_ms[static_cast<size_t>(i)] = (st->engine->now() - t0).ms();
+    ++st->done;
+  }
+}
+
+class Runner {
+ public:
+  Runner(const Spec& spec, const RunOptions& options, std::ostream& out,
+         PointFn point_fn)
+      : spec_(spec), options_(options), out_(out), point_fn_(std::move(point_fn)) {}
+
+  lv::Result<RunResult> Run() {
+    auto host_spec = ResolveHostSpec(spec_.topology.host);
+    if (!host_spec.ok()) {
+      return host_spec.error();
+    }
+    host_spec_ = *host_spec;
+    auto mechanisms = MechanismsByName(spec_.mechanisms);
+    if (!mechanisms.ok()) {
+      return mechanisms.error();
+    }
+    mechanisms_ = *mechanisms;
+
+    const bool tracing = !options_.trace_out.empty();
+    if (tracing) {
+      trace::Tracer::Get().Enable();
+    }
+
+    out_ << "# scenario: " << spec_.name;
+    if (!spec_.title.empty()) {
+      out_ << " — " << spec_.title;
+    }
+    out_ << "\n";
+    out_ << lv::StrFormat(
+        "# seed=%llu mechanisms=%s workload=%s host=%s nodes=%d\n",
+        (unsigned long long)spec_.seed, spec_.mechanisms.c_str(),
+        WorkloadKindName(spec_.workload.kind), spec_.topology.host.preset.c_str(),
+        spec_.topology.nodes);
+
+    lv::Status status = lv::Status::Ok();
+    switch (spec_.workload.kind) {
+      case WorkloadKind::kSequentialBoots:
+        status = RunSequentialBoots();
+        break;
+      case WorkloadKind::kChurnStorm:
+        status = RunChurnStorm();
+        break;
+      case WorkloadKind::kFleetDeploy:
+        status = RunFleetDeploy();
+        break;
+    }
+
+    if (tracing) {
+      trace::Tracer::Get().Disable();
+      lv::Status written =
+          trace::WriteChromeTraceFile(trace::Tracer::Get(), options_.trace_out);
+      if (status.ok() && !written.ok()) {
+        status = written;
+      }
+    }
+    if (!options_.metrics_out.empty()) {
+      lv::Status written =
+          metrics::WriteJsonFile(metrics::Registry::Get(), options_.metrics_out);
+      if (status.ok() && !written.ok()) {
+        status = written;
+      }
+    }
+    if (!status.ok()) {
+      return status.error();
+    }
+    return result_;
+  }
+
+ private:
+  void Point(const std::string& series,
+             const std::vector<std::pair<std::string, double>>& row) {
+    if (point_fn_) {
+      point_fn_(series, row);
+    }
+    ++result_.points;
+  }
+
+  // Sequential-boots builds a fresh engine per series (matching the fig*
+  // binaries). Each fresh engine restarts simulated time at zero, so
+  // re-base the tracer's clock first: the exported file keeps every
+  // epoch's events in one monotonic simulated-time domain.
+  void NewEngineEpoch() {
+    if (!options_.trace_out.empty()) {
+      trace::Tracer::Get().BeginEpoch();
+    }
+  }
+
+  // Lets background activity kicked off by the last measured operation —
+  // chiefly shell-pool refills — run to a quiet point so their spans close
+  // before the engine is torn down; an exported trace must not end with
+  // open spans. Bounded because guests with periodic services keep the
+  // event queue non-empty forever. All measurements are captured before
+  // this runs, so it can only affect the exported trace/metrics tails.
+  void Settle(sim::Engine& engine) {
+    sim::RunUntilCondition(engine, [] { return false; },
+                           lv::Duration::Seconds(30));
+  }
+
+  void SetupShellPool(lightvm::Host& host) {
+    if (!spec_.shell_pool.has_value()) {
+      return;
+    }
+    const ShellPoolConfig& pool = *spec_.shell_pool;
+    auto image = toolstack::ImageByName(pool.image);
+    LV_CHECK(image.ok());  // validated at parse time
+    bool wants_net = pool.wants_net.value_or(image->wants_net);
+    host.AddShellFlavor(image->memory, wants_net, pool.target);
+    host.PrefillShellPool();
+  }
+
+  lv::Status RunSequentialBoots() {
+    for (const GuestGroupConfig& group : spec_.workload.guests) {
+      if (group.runtime.empty()) {
+        RunVmGroup(group);
+      } else if (group.runtime == "docker") {
+        RunDockerGroup(group);
+      } else {
+        RunProcessGroup(group);
+      }
+    }
+    return lv::Status::Ok();
+  }
+
+  void RunVmGroup(const GuestGroupConfig& group) {
+    NewEngineEpoch();
+    sim::Engine engine(spec_.seed);
+    lightvm::Host host(&engine, host_spec_, mechanisms_);
+    SetupShellPool(host);
+    auto base = toolstack::ImageByName(group.image);
+    LV_CHECK(base.ok());  // validated at parse time
+    guests::GuestImage image = *base;
+    if (group.pad_to_mib > 0.0) {
+      image = guests::PaddedImage(image, lv::Bytes::MiBF(group.pad_to_mib));
+    }
+    out_ << lv::StrFormat("\n## %s (%s, up to %d guests)\n", group.series.c_str(),
+                          group.image.c_str(), group.count);
+    out_ << lv::StrFormat("%-8s %-14s %s\n", "n", "create_ms", "boot_ms");
+    for (int i = 1; i <= group.count; ++i) {
+      toolstack::VmConfig config;
+      config.name = lv::StrFormat("%s%d", group.name_prefix.c_str(), i);
+      config.image = image;
+      CreateTiming t = CreateBootTimed(engine, host, std::move(config));
+      if (!t.ok) {
+        out_ << lv::StrFormat("# stopped at n=%d (%s)\n", i, t.error.c_str());
+        break;
+      }
+      ++result_.vms_created;
+      Point(group.series, {{"n", static_cast<double>(i)},
+                           {"create_ms", t.create_ms},
+                           {"boot_ms", t.boot_ms}});
+      if (Sampled(i, group.count, spec_.sample_points)) {
+        out_ << lv::StrFormat("%-8d %-14.2f %.2f\n", i, t.create_ms, t.boot_ms);
+      }
+    }
+    Settle(engine);
+  }
+
+  void RunDockerGroup(const GuestGroupConfig& group) {
+    NewEngineEpoch();
+    sim::Engine engine(spec_.seed);
+    sim::CpuScheduler cpu(&engine, host_spec_.cores);
+    hv::MemoryPool memory(host_spec_.memory);
+    container::DockerRuntime docker(&engine, &memory);
+    sim::ExecCtx ctx{&cpu, 0, sim::kHostOwner};
+    out_ << lv::StrFormat("\n## %s (docker, up to %d containers)\n",
+                          group.series.c_str(), group.count);
+    out_ << lv::StrFormat("%-8s %s\n", "n", "run_ms");
+    for (int i = 1; i <= group.count; ++i) {
+      lv::TimePoint t0 = engine.now();
+      auto id = sim::RunToCompletion(engine,
+                                     docker.Run(ctx, container::MinimalContainer()));
+      if (!id.ok()) {
+        out_ << lv::StrFormat("# stopped at n=%d (%s)\n", i,
+                              lv::ErrorCodeName(id.code()));
+        break;
+      }
+      ++result_.vms_created;
+      double run_ms = (engine.now() - t0).ms();
+      Point(group.series, {{"n", static_cast<double>(i)}, {"run_ms", run_ms}});
+      if (Sampled(i, group.count, spec_.sample_points)) {
+        out_ << lv::StrFormat("%-8d %.2f\n", i, run_ms);
+      }
+    }
+  }
+
+  void RunProcessGroup(const GuestGroupConfig& group) {
+    NewEngineEpoch();
+    sim::Engine engine(spec_.seed);
+    sim::CpuScheduler cpu(&engine, host_spec_.cores);
+    hv::MemoryPool memory(host_spec_.memory);
+    container::ProcessRuntime procs(&engine, &memory);
+    sim::ExecCtx ctx{&cpu, 0, sim::kHostOwner};
+    out_ << lv::StrFormat("\n## %s (fork/exec, up to %d processes)\n",
+                          group.series.c_str(), group.count);
+    out_ << lv::StrFormat("%-8s %s\n", "n", "fork_exec_ms");
+    for (int i = 1; i <= group.count; ++i) {
+      lv::TimePoint t0 = engine.now();
+      (void)sim::RunToCompletion(engine, procs.ForkExec(ctx));
+      ++result_.vms_created;
+      double ms = (engine.now() - t0).ms();
+      Point(group.series, {{"n", static_cast<double>(i)}, {"fork_exec_ms", ms}});
+      if (Sampled(i, group.count, spec_.sample_points)) {
+        out_ << lv::StrFormat("%-8d %.2f\n", i, ms);
+      }
+    }
+  }
+
+  lv::Status RunChurnStorm() {
+    NewEngineEpoch();
+    const WorkloadConfig& w = spec_.workload;
+    sim::Engine engine(spec_.seed);
+    lightvm::Host host(&engine, host_spec_, mechanisms_);
+    SetupShellPool(host);
+    auto image = toolstack::ImageByName(w.image);
+    LV_CHECK(image.ok());  // validated at parse time
+
+    ChurnState st;
+    st.engine = &engine;
+    st.host = &host;
+    st.w = &w;
+    st.image = *image;
+    st.rng = lv::Rng(spec_.seed);
+
+    out_ << lv::StrFormat(
+        "\n## churn storm (%d ops, concurrency %d, max_live %d, "
+        "destroy_fraction %.2f)\n",
+        w.operations, w.concurrency, w.max_live, w.destroy_fraction);
+
+    lv::TimePoint start = engine.now();
+    for (int i = 0; i < w.concurrency; ++i) {
+      engine.Spawn(ChurnWorker(&st));
+    }
+    bool finished =
+        sim::RunUntilCondition(engine, [&] { return st.done_ops >= w.operations; },
+                               lv::Duration::Seconds(36000));
+    if (!finished) {
+      return Err(ErrorCode::kInternal,
+                 lv::StrFormat("churn storm stalled at %d/%d operations",
+                               st.done_ops, w.operations));
+    }
+    double makespan_s = (engine.now() - start).secs();
+    Settle(engine);
+
+    std::sort(st.oplog.begin(), st.oplog.end(),
+              [](const ChurnOp& a, const ChurnOp& b) { return a.op < b.op; });
+    out_ << lv::StrFormat("%-8s %-8s %s\n", "op", "kind", "ms");
+    int total = static_cast<int>(st.oplog.size());
+    for (int i = 0; i < total; ++i) {
+      const ChurnOp& op = st.oplog[static_cast<size_t>(i)];
+      Point("ops", {{"op", static_cast<double>(op.op)},
+                    {"kind", static_cast<double>(op.kind)},
+                    {"ms", op.ms}});
+      if (Sampled(i + 1, total, spec_.sample_points)) {
+        out_ << lv::StrFormat("%-8d %-8s %.2f\n", op.op,
+                              op.kind == 0 ? "create" : "destroy", op.ms);
+      }
+    }
+
+    result_.vms_created += st.creates;
+    result_.vms_destroyed += st.destroys;
+    auto q = [](const lv::Samples& s, double p) {
+      return s.empty() ? 0.0 : s.Quantile(p);
+    };
+    out_ << lv::StrFormat(
+        "creates=%lld destroys=%lld create_failures=%lld destroy_failures=%lld "
+        "live=%lld\n",
+        (long long)st.creates, (long long)st.destroys,
+        (long long)st.create_failures, (long long)st.destroy_failures,
+        (long long)host.num_vms());
+    out_ << lv::StrFormat("create_ms: p50=%.2f p99=%.2f  destroy_ms: p50=%.2f "
+                          "p99=%.2f  makespan_s=%.2f\n",
+                          q(st.create_ms, 0.5), q(st.create_ms, 0.99),
+                          q(st.destroy_ms, 0.5), q(st.destroy_ms, 0.99),
+                          makespan_s);
+    Point("summary", {{"create_p50_ms", q(st.create_ms, 0.5)},
+                      {"create_p99_ms", q(st.create_ms, 0.99)},
+                      {"destroy_p50_ms", q(st.destroy_ms, 0.5)},
+                      {"destroy_p99_ms", q(st.destroy_ms, 0.99)},
+                      {"makespan_s", makespan_s},
+                      {"creates", static_cast<double>(st.creates)},
+                      {"destroys", static_cast<double>(st.destroys)},
+                      {"failures", static_cast<double>(st.create_failures +
+                                                       st.destroy_failures)}});
+    return lv::Status::Ok();
+  }
+
+  lv::Status RunFleetDeploy() {
+    const WorkloadConfig& w = spec_.workload;
+    for (const std::string& policy : w.policies) {
+      lv::Status status = RunFleetPolicy(policy);
+      if (!status.ok()) {
+        return status;
+      }
+    }
+    return lv::Status::Ok();
+  }
+
+  lv::Status RunFleetPolicy(const std::string& policy_name) {
+    NewEngineEpoch();
+    const WorkloadConfig& w = spec_.workload;
+    sim::Engine engine(spec_.seed);
+    cluster::ClusterSpec cspec;
+    cspec.num_nodes = spec_.topology.nodes;
+    cspec.node = host_spec_;
+    cspec.mechanisms = mechanisms_;
+    cspec.link_gbps = spec_.topology.link_gbps;
+    cspec.link_rtt = lv::Duration::MicrosF(spec_.topology.link_rtt_us);
+    auto policy = cluster::MakePolicy(policy_name);
+    LV_CHECK(policy != nullptr);  // validated at parse time
+    cluster::Cluster cl(&engine, cspec, std::move(policy));
+    for (int n = 0; n < cspec.num_nodes; ++n) {
+      if (spec_.shell_pool.has_value()) {
+        const ShellPoolConfig& pool = *spec_.shell_pool;
+        auto image = toolstack::ImageByName(pool.image);
+        LV_CHECK(image.ok());
+        cl.host(n).AddShellFlavor(image->memory,
+                                  pool.wants_net.value_or(image->wants_net),
+                                  pool.target);
+        cl.host(n).PrefillShellPool();
+      }
+    }
+    auto image = toolstack::ImageByName(w.image);
+    LV_CHECK(image.ok());
+
+    FleetState st;
+    st.engine = &engine;
+    st.cl = &cl;
+    st.w = &w;
+    st.image = *image;
+    st.node.assign(static_cast<size_t>(w.vms), -1);
+    st.deploy_ms.assign(static_cast<size_t>(w.vms), 0.0);
+
+    lv::TimePoint start = engine.now();
+    for (int i = 0; i < w.concurrency; ++i) {
+      engine.Spawn(FleetWorker(&st));
+    }
+    bool finished = sim::RunUntilCondition(
+        engine, [&] { return st.done >= w.vms || st.failed; },
+        lv::Duration::Seconds(36000));
+    if (st.failed) {
+      return Err(ErrorCode::kInternal, policy_name + ": " + st.error);
+    }
+    if (!finished) {
+      return Err(ErrorCode::kInternal,
+                 lv::StrFormat("%s: fleet stalled at %d/%d VMs",
+                               policy_name.c_str(), st.done, w.vms));
+    }
+    double makespan_s = (engine.now() - start).secs();
+    Settle(engine);
+
+    std::vector<int64_t> per_node(static_cast<size_t>(cspec.num_nodes), 0);
+    lv::Samples lat;
+    uint64_t placement_hash = 1469598103934665603ull;  // FNV offset basis.
+    for (int i = 0; i < w.vms; ++i) {
+      int node = st.node[static_cast<size_t>(i)];
+      ++per_node[static_cast<size_t>(node)];
+      lat.Add(st.deploy_ms[static_cast<size_t>(i)]);
+      placement_hash ^= static_cast<uint64_t>(node) +
+                        static_cast<uint64_t>(i) * 31ull;
+      placement_hash *= 1099511628211ull;  // FNV prime.
+      Point(policy_name, {{"i", static_cast<double>(i)},
+                          {"node", static_cast<double>(node)},
+                          {"deploy_ms", st.deploy_ms[static_cast<size_t>(i)]}});
+    }
+    result_.vms_created += w.vms;
+    int64_t jobs_started = 0;
+    int64_t jobs_failed = 0;
+    for (int n = 0; n < cspec.num_nodes; ++n) {
+      jobs_started += cl.host(n).node().jobs_started();
+      jobs_failed += cl.host(n).node().jobs_failed();
+    }
+
+    out_ << lv::StrFormat("\n## policy: %s\n", policy_name.c_str());
+    out_ << "placement:";
+    for (int n = 0; n < cspec.num_nodes; ++n) {
+      out_ << lv::StrFormat(" node%d=%lld", n,
+                            (long long)per_node[static_cast<size_t>(n)]);
+    }
+    out_ << lv::StrFormat("  hash=%016llx\n", (unsigned long long)placement_hash);
+    out_ << lv::StrFormat("deploy_ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+                          lat.Quantile(0.5), lat.Quantile(0.9), lat.Quantile(0.99),
+                          lat.max());
+    out_ << lv::StrFormat(
+        "makespan_s=%.2f  vms=%lld  jobs_started=%lld  jobs_failed=%lld  "
+        "admission_rejects=%lld\n",
+        makespan_s, (long long)cl.total_vms(), (long long)jobs_started,
+        (long long)jobs_failed, (long long)cl.admission_rejects());
+    Point("summary", {{"deploy_p50_ms", lat.Quantile(0.5)},
+                      {"deploy_p99_ms", lat.Quantile(0.99)},
+                      {"deploy_max_ms", lat.max()},
+                      {"makespan_s", makespan_s},
+                      {"vms", static_cast<double>(cl.total_vms())},
+                      {"jobs_failed", static_cast<double>(jobs_failed)}});
+    return lv::Status::Ok();
+  }
+
+  const Spec& spec_;
+  const RunOptions& options_;
+  std::ostream& out_;
+  PointFn point_fn_;
+  lightvm::HostSpec host_spec_;
+  lightvm::Mechanisms mechanisms_;
+  RunResult result_;
+};
+
+}  // namespace
+
+lv::Result<RunResult> Run(const Spec& spec, const RunOptions& options,
+                          std::ostream& out, PointFn point_fn) {
+  return Runner(spec, options, out, std::move(point_fn)).Run();
+}
+
+}  // namespace scenario

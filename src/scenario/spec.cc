@@ -1,0 +1,527 @@
+#include "src/scenario/spec.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "src/base/strings.h"
+#include "src/cluster/placement.h"
+#include "src/toolstack/config.h"
+
+namespace scenario {
+
+namespace {
+
+using lv::Err;
+using lv::ErrorCode;
+using lv::json::Member;
+using lv::json::Value;
+
+lv::Error BadField(const std::string& context, const std::string& key,
+                   const std::string& what) {
+  return Err(ErrorCode::kInvalidArgument,
+             lv::StrFormat("%s.%s: %s", context.c_str(), key.c_str(), what.c_str()));
+}
+
+lv::Error UnknownKey(const std::string& context, const std::string& key) {
+  return Err(ErrorCode::kInvalidArgument,
+             lv::StrFormat("unknown key '%s' in %s", key.c_str(), context.c_str()));
+}
+
+lv::Result<std::string> WantString(const std::string& context, const Member& m) {
+  if (!m.second.is_string()) {
+    return BadField(context, m.first,
+                    lv::StrFormat("expected string, got %s", m.second.TypeName()));
+  }
+  return m.second.AsString();
+}
+
+lv::Result<double> WantNumber(const std::string& context, const Member& m) {
+  if (!m.second.is_number()) {
+    return BadField(context, m.first,
+                    lv::StrFormat("expected number, got %s", m.second.TypeName()));
+  }
+  return m.second.AsDouble();
+}
+
+lv::Result<int64_t> WantInt(const std::string& context, const Member& m) {
+  auto d = WantNumber(context, m);
+  if (!d.ok()) {
+    return d.error();
+  }
+  if (*d != std::floor(*d)) {
+    return BadField(context, m.first, "expected an integer");
+  }
+  return static_cast<int64_t>(*d);
+}
+
+lv::Result<bool> WantBool(const std::string& context, const Member& m) {
+  if (!m.second.is_bool()) {
+    return BadField(context, m.first,
+                    lv::StrFormat("expected bool, got %s", m.second.TypeName()));
+  }
+  return m.second.AsBool();
+}
+
+lv::Status WantObject(const std::string& context, const Member& m) {
+  if (!m.second.is_object()) {
+    return BadField(context, m.first,
+                    lv::StrFormat("expected object, got %s", m.second.TypeName()));
+  }
+  return lv::Status::Ok();
+}
+
+// Plumbing for the if/else key chains below: assign-or-return-error.
+#define LV_SPEC_ASSIGN(dest, expr)     \
+  do {                                 \
+    auto lv_spec_tmp = (expr);         \
+    if (!lv_spec_tmp.ok()) {           \
+      return lv_spec_tmp.error();      \
+    }                                  \
+    (dest) = *std::move(lv_spec_tmp);  \
+  } while (0)
+
+lv::Result<HostSpecConfig> ParseHost(const std::string& context, const Value& v) {
+  HostSpecConfig host;
+  for (const Member& m : v.AsObject()) {
+    if (m.first == "preset") {
+      LV_SPEC_ASSIGN(host.preset, WantString(context, m));
+    } else if (m.first == "cores") {
+      LV_SPEC_ASSIGN(host.cores, WantInt(context, m));
+    } else if (m.first == "dom0_cores") {
+      LV_SPEC_ASSIGN(host.dom0_cores, WantInt(context, m));
+    } else if (m.first == "memory_gib") {
+      LV_SPEC_ASSIGN(host.memory_gib, WantNumber(context, m));
+    } else if (m.first == "dom0_memory_gib") {
+      LV_SPEC_ASSIGN(host.dom0_memory_gib, WantNumber(context, m));
+    } else {
+      return UnknownKey(context, m.first);
+    }
+  }
+  auto resolved = ResolveHostSpec(host);
+  if (!resolved.ok()) {
+    return resolved.error();
+  }
+  return host;
+}
+
+lv::Result<TopologyConfig> ParseTopology(const Value& v) {
+  TopologyConfig topo;
+  const std::string context = "topology";
+  for (const Member& m : v.AsObject()) {
+    if (m.first == "nodes") {
+      LV_SPEC_ASSIGN(topo.nodes, WantInt(context, m));
+    } else if (m.first == "host") {
+      auto ok = WantObject(context, m);
+      if (!ok.ok()) {
+        return ok.error();
+      }
+      LV_SPEC_ASSIGN(topo.host, ParseHost("topology.host", m.second));
+    } else if (m.first == "link_gbps") {
+      LV_SPEC_ASSIGN(topo.link_gbps, WantNumber(context, m));
+    } else if (m.first == "link_rtt_us") {
+      LV_SPEC_ASSIGN(topo.link_rtt_us, WantNumber(context, m));
+    } else {
+      return UnknownKey(context, m.first);
+    }
+  }
+  if (topo.nodes < 1) {
+    return BadField(context, "nodes", "must be >= 1");
+  }
+  if (topo.link_gbps <= 0.0) {
+    return BadField(context, "link_gbps", "must be > 0");
+  }
+  if (topo.link_rtt_us < 0.0) {
+    return BadField(context, "link_rtt_us", "must be >= 0");
+  }
+  return topo;
+}
+
+lv::Result<ShellPoolConfig> ParseShellPool(const Value& v) {
+  ShellPoolConfig pool;
+  const std::string context = "shell_pool";
+  for (const Member& m : v.AsObject()) {
+    if (m.first == "image") {
+      LV_SPEC_ASSIGN(pool.image, WantString(context, m));
+    } else if (m.first == "target") {
+      LV_SPEC_ASSIGN(pool.target, WantInt(context, m));
+    } else if (m.first == "wants_net") {
+      bool wants = false;
+      LV_SPEC_ASSIGN(wants, WantBool(context, m));
+      pool.wants_net = wants;
+    } else {
+      return UnknownKey(context, m.first);
+    }
+  }
+  if (pool.image.empty()) {
+    return BadField(context, "image", "required");
+  }
+  if (!toolstack::ImageByName(pool.image).ok()) {
+    return BadField(context, "image", "unknown image '" + pool.image + "'");
+  }
+  if (pool.target <= 0) {
+    return BadField(context, "target", "must be > 0");
+  }
+  return pool;
+}
+
+lv::Result<GuestGroupConfig> ParseGuestGroup(int index, const Value& v) {
+  GuestGroupConfig group;
+  const std::string context = lv::StrFormat("workload.guests[%d]", index);
+  if (!v.is_object()) {
+    return Err(ErrorCode::kInvalidArgument, context + ": expected object");
+  }
+  for (const Member& m : v.AsObject()) {
+    if (m.first == "series") {
+      LV_SPEC_ASSIGN(group.series, WantString(context, m));
+    } else if (m.first == "image") {
+      LV_SPEC_ASSIGN(group.image, WantString(context, m));
+    } else if (m.first == "runtime") {
+      LV_SPEC_ASSIGN(group.runtime, WantString(context, m));
+    } else if (m.first == "count") {
+      LV_SPEC_ASSIGN(group.count, WantInt(context, m));
+    } else if (m.first == "pad_to_mib") {
+      LV_SPEC_ASSIGN(group.pad_to_mib, WantNumber(context, m));
+    } else if (m.first == "name_prefix") {
+      LV_SPEC_ASSIGN(group.name_prefix, WantString(context, m));
+    } else {
+      return UnknownKey(context, m.first);
+    }
+  }
+  if (group.image.empty() == group.runtime.empty()) {
+    return Err(ErrorCode::kInvalidArgument,
+               context + ": exactly one of 'image' and 'runtime' is required");
+  }
+  if (!group.image.empty() && !toolstack::ImageByName(group.image).ok()) {
+    return BadField(context, "image", "unknown image '" + group.image + "'");
+  }
+  if (!group.runtime.empty() && group.runtime != "docker" &&
+      group.runtime != "process") {
+    return BadField(context, "runtime", "must be 'docker' or 'process'");
+  }
+  if (group.count <= 0) {
+    return BadField(context, "count", "must be > 0");
+  }
+  if (group.pad_to_mib < 0.0) {
+    return BadField(context, "pad_to_mib", "must be >= 0");
+  }
+  if (!group.runtime.empty() && group.pad_to_mib > 0.0) {
+    return BadField(context, "pad_to_mib", "only applies to VM images");
+  }
+  if (group.series.empty()) {
+    group.series = group.image.empty() ? group.runtime : group.image;
+  }
+  if (group.name_prefix.empty()) {
+    group.name_prefix = group.series + "-";
+  }
+  return group;
+}
+
+lv::Result<WorkloadKind> ParseWorkloadKind(const std::string& kind) {
+  if (kind == "sequential-boots") {
+    return WorkloadKind::kSequentialBoots;
+  }
+  if (kind == "churn-storm") {
+    return WorkloadKind::kChurnStorm;
+  }
+  if (kind == "fleet-deploy") {
+    return WorkloadKind::kFleetDeploy;
+  }
+  return Err(ErrorCode::kInvalidArgument,
+             "workload.kind: unknown kind '" + kind +
+                 "' (want sequential-boots, churn-storm or fleet-deploy)");
+}
+
+lv::Result<WorkloadConfig> ParseWorkload(const Value& v) {
+  WorkloadConfig w;
+  const std::string context = "workload";
+  const Value* kind = v.Get("kind");
+  if (kind == nullptr || !kind->is_string()) {
+    return Err(ErrorCode::kInvalidArgument, "workload.kind: required string");
+  }
+  LV_SPEC_ASSIGN(w.kind, ParseWorkloadKind(kind->AsString()));
+
+  for (const Member& m : v.AsObject()) {
+    if (m.first == "kind") {
+      continue;
+    }
+    const bool churn = w.kind == WorkloadKind::kChurnStorm;
+    const bool fleet = w.kind == WorkloadKind::kFleetDeploy;
+    if (m.first == "guests" && w.kind == WorkloadKind::kSequentialBoots) {
+      if (!m.second.is_array()) {
+        return BadField(context, m.first, "expected array");
+      }
+      int index = 0;
+      for (const Value& item : m.second.AsArray()) {
+        auto group = ParseGuestGroup(index++, item);
+        if (!group.ok()) {
+          return group.error();
+        }
+        w.guests.push_back(*std::move(group));
+      }
+    } else if (m.first == "image" && (churn || fleet)) {
+      LV_SPEC_ASSIGN(w.image, WantString(context, m));
+    } else if (m.first == "concurrency" && (churn || fleet)) {
+      LV_SPEC_ASSIGN(w.concurrency, WantInt(context, m));
+    } else if (m.first == "operations" && churn) {
+      LV_SPEC_ASSIGN(w.operations, WantInt(context, m));
+    } else if (m.first == "max_live" && churn) {
+      LV_SPEC_ASSIGN(w.max_live, WantInt(context, m));
+    } else if (m.first == "destroy_fraction" && churn) {
+      LV_SPEC_ASSIGN(w.destroy_fraction, WantNumber(context, m));
+    } else if (m.first == "vms" && fleet) {
+      LV_SPEC_ASSIGN(w.vms, WantInt(context, m));
+    } else if (m.first == "wait_boot" && fleet) {
+      LV_SPEC_ASSIGN(w.wait_boot, WantBool(context, m));
+    } else if (m.first == "policies" && fleet) {
+      if (!m.second.is_array()) {
+        return BadField(context, m.first, "expected array of policy names");
+      }
+      for (const Value& item : m.second.AsArray()) {
+        if (!item.is_string()) {
+          return BadField(context, m.first, "expected array of policy names");
+        }
+        w.policies.push_back(item.AsString());
+      }
+    } else {
+      return Err(ErrorCode::kInvalidArgument,
+                 lv::StrFormat("key '%s' in workload is unknown or does not apply "
+                               "to kind '%s'",
+                               m.first.c_str(), kind->AsString().c_str()));
+    }
+  }
+
+  switch (w.kind) {
+    case WorkloadKind::kSequentialBoots:
+      if (w.guests.empty()) {
+        return BadField(context, "guests", "at least one guest group required");
+      }
+      break;
+    case WorkloadKind::kChurnStorm:
+      if (w.operations <= 0) {
+        return BadField(context, "operations", "must be > 0");
+      }
+      if (w.concurrency <= 0) {
+        return BadField(context, "concurrency", "must be > 0");
+      }
+      if (w.max_live <= 0) {
+        return BadField(context, "max_live", "must be > 0");
+      }
+      if (w.destroy_fraction < 0.0 || w.destroy_fraction >= 1.0) {
+        return BadField(context, "destroy_fraction", "must be in [0, 1)");
+      }
+      break;
+    case WorkloadKind::kFleetDeploy:
+      if (w.vms <= 0) {
+        return BadField(context, "vms", "must be > 0");
+      }
+      if (w.concurrency <= 0) {
+        return BadField(context, "concurrency", "must be > 0");
+      }
+      if (w.policies.empty()) {
+        w.policies.push_back("first-fit");
+      }
+      for (const std::string& p : w.policies) {
+        if (cluster::MakePolicy(p) == nullptr) {
+          return BadField(context, "policies", "unknown policy '" + p + "'");
+        }
+      }
+      break;
+  }
+  if ((w.kind == WorkloadKind::kChurnStorm ||
+       w.kind == WorkloadKind::kFleetDeploy) &&
+      !toolstack::ImageByName(w.image).ok()) {
+    return BadField(context, "image", "unknown image '" + w.image + "'");
+  }
+  return w;
+}
+
+}  // namespace
+
+lv::Result<lightvm::HostSpec> ResolveHostSpec(const HostSpecConfig& config) {
+  lightvm::HostSpec spec;
+  if (config.preset == "xeon4") {
+    spec = lightvm::HostSpec::Xeon4Core();
+  } else if (config.preset == "amd64") {
+    spec = lightvm::HostSpec::Amd64Core();
+  } else if (config.preset == "xeon14") {
+    spec = lightvm::HostSpec::Xeon14Core();
+  } else {
+    return lv::Err(lv::ErrorCode::kInvalidArgument,
+                   "unknown host preset '" + config.preset +
+                       "' (want xeon4, amd64 or xeon14)");
+  }
+  if (config.cores > 0) {
+    spec.cores = config.cores;
+  }
+  if (config.dom0_cores > 0) {
+    spec.dom0_cores = config.dom0_cores;
+  }
+  if (config.memory_gib > 0.0) {
+    spec.memory = lv::Bytes::MiBF(config.memory_gib * 1024.0);
+  }
+  if (config.dom0_memory_gib > 0.0) {
+    spec.dom0_memory = lv::Bytes::MiBF(config.dom0_memory_gib * 1024.0);
+  }
+  if (spec.dom0_cores >= spec.cores) {
+    return lv::Err(lv::ErrorCode::kInvalidArgument,
+                   "host: dom0_cores must be < cores");
+  }
+  return spec;
+}
+
+lv::Result<lightvm::Mechanisms> MechanismsByName(const std::string& name) {
+  if (name == "xl") {
+    return lightvm::Mechanisms::Xl();
+  }
+  if (name == "chaos-xs") {
+    return lightvm::Mechanisms::ChaosXs();
+  }
+  if (name == "chaos-xs-split") {
+    return lightvm::Mechanisms::ChaosXsSplit();
+  }
+  if (name == "chaos-noxs") {
+    return lightvm::Mechanisms::ChaosNoxs();
+  }
+  if (name == "lightvm") {
+    return lightvm::Mechanisms::LightVm();
+  }
+  if (name == "lightvm-shared") {
+    return lightvm::Mechanisms::LightVmShared();
+  }
+  return lv::Err(lv::ErrorCode::kInvalidArgument,
+                 "unknown mechanisms '" + name +
+                     "' (want xl, chaos-xs, chaos-xs-split, chaos-noxs, "
+                     "lightvm or lightvm-shared)");
+}
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kSequentialBoots: return "sequential-boots";
+    case WorkloadKind::kChurnStorm: return "churn-storm";
+    case WorkloadKind::kFleetDeploy: return "fleet-deploy";
+  }
+  return "?";
+}
+
+lv::Result<Spec> ParseSpec(std::string_view text) {
+  auto doc = lv::json::Parse(text);
+  if (!doc.ok()) {
+    return doc.error();
+  }
+  if (!doc->is_object()) {
+    return lv::Err(lv::ErrorCode::kInvalidArgument,
+                   "scenario spec: top-level value must be an object");
+  }
+
+  Spec spec;
+  bool saw_workload = false;
+  const std::string context = "scenario";
+  for (const Member& m : doc->AsObject()) {
+    if (m.first == "name") {
+      LV_SPEC_ASSIGN(spec.name, WantString(context, m));
+    } else if (m.first == "title") {
+      LV_SPEC_ASSIGN(spec.title, WantString(context, m));
+    } else if (m.first == "seed") {
+      int64_t seed = 0;
+      LV_SPEC_ASSIGN(seed, WantInt(context, m));
+      if (seed < 0) {
+        return BadField(context, "seed", "must be >= 0");
+      }
+      spec.seed = static_cast<uint64_t>(seed);
+    } else if (m.first == "mechanisms") {
+      LV_SPEC_ASSIGN(spec.mechanisms, WantString(context, m));
+    } else if (m.first == "topology") {
+      auto ok = WantObject(context, m);
+      if (!ok.ok()) {
+        return ok.error();
+      }
+      LV_SPEC_ASSIGN(spec.topology, ParseTopology(m.second));
+    } else if (m.first == "host") {
+      // Shorthand for topology.host with nodes = 1.
+      auto ok = WantObject(context, m);
+      if (!ok.ok()) {
+        return ok.error();
+      }
+      LV_SPEC_ASSIGN(spec.topology.host, ParseHost("host", m.second));
+    } else if (m.first == "shell_pool") {
+      auto ok = WantObject(context, m);
+      if (!ok.ok()) {
+        return ok.error();
+      }
+      auto pool = ParseShellPool(m.second);
+      if (!pool.ok()) {
+        return pool.error();
+      }
+      spec.shell_pool = *std::move(pool);
+    } else if (m.first == "workload") {
+      auto ok = WantObject(context, m);
+      if (!ok.ok()) {
+        return ok.error();
+      }
+      LV_SPEC_ASSIGN(spec.workload, ParseWorkload(m.second));
+      saw_workload = true;
+    } else if (m.first == "output") {
+      auto ok = WantObject(context, m);
+      if (!ok.ok()) {
+        return ok.error();
+      }
+      for (const Member& om : m.second.AsObject()) {
+        if (om.first == "sample_points") {
+          LV_SPEC_ASSIGN(spec.sample_points, WantInt("output", om));
+        } else {
+          return UnknownKey("output", om.first);
+        }
+      }
+    } else {
+      return UnknownKey(context, m.first);
+    }
+  }
+
+  if (spec.name.empty()) {
+    return BadField(context, "name", "required");
+  }
+  if (!saw_workload) {
+    return BadField(context, "workload", "required");
+  }
+  if (spec.sample_points <= 0) {
+    return BadField("output", "sample_points", "must be > 0");
+  }
+  auto mechanisms = MechanismsByName(spec.mechanisms);
+  if (!mechanisms.ok()) {
+    return mechanisms.error();
+  }
+  if (spec.shell_pool.has_value() && !mechanisms->split) {
+    return BadField(context, "shell_pool",
+                    "requires a split-toolstack mechanisms preset "
+                    "(chaos-xs-split, lightvm or lightvm-shared)");
+  }
+  if (spec.topology.nodes > 1 &&
+      spec.workload.kind != WorkloadKind::kFleetDeploy) {
+    return BadField("topology", "nodes",
+                    lv::StrFormat("workload '%s' runs on a single node "
+                                  "(only fleet-deploy spans a cluster)",
+                                  WorkloadKindName(spec.workload.kind)));
+  }
+  if (spec.workload.kind == WorkloadKind::kFleetDeploy &&
+      spec.topology.nodes < 2) {
+    return BadField("topology", "nodes", "fleet-deploy needs >= 2 nodes");
+  }
+  return spec;
+}
+
+lv::Result<Spec> LoadSpecFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return lv::Err(lv::ErrorCode::kNotFound, "cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto spec = ParseSpec(buf.str());
+  if (!spec.ok()) {
+    return lv::Err(spec.error().code, path + ": " + spec.error().message);
+  }
+  return spec;
+}
+
+}  // namespace scenario

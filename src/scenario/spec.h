@@ -1,0 +1,123 @@
+// Declarative scenario specs: experiments as data instead of hand-coded
+// benchmark binaries.
+//
+// A spec describes one full-system experiment — topology (how many nodes,
+// which host preset), the mechanism configuration, the guest mix and the
+// workload that drives it — and `scenario::Run` (runner.h) executes it over
+// the same Host / NodeApi / Cluster control plane the dedicated fig*
+// binaries use. The committed specs under scenarios/ include equivalents of
+// Figure 4 and Figure 10 that are cross-checked against the dedicated
+// binaries, so spec-driven runs carry the same paper fidelity.
+//
+// Parsing is strict: unknown keys, duplicate keys, wrong types and
+// out-of-range values are errors, not warnings. A spec that silently
+// ignored a typo'd field would run a different experiment than the one the
+// author wrote down.
+//
+// Field reference (every key, defaults, units): EXPERIMENTS.md §"Scenario
+// specs".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+#include "src/base/result.h"
+#include "src/base/units.h"
+#include "src/core/host.h"
+#include "src/core/mechanisms.h"
+
+namespace scenario {
+
+// One machine. `preset` names the paper testbeds ("xeon4", "amd64",
+// "xeon14"); the remaining fields override individual preset values when
+// positive.
+struct HostSpecConfig {
+  std::string preset = "xeon4";
+  int cores = 0;
+  int dom0_cores = 0;
+  double memory_gib = 0.0;
+  double dom0_memory_gib = 0.0;
+};
+
+// How many machines, and what each looks like. nodes == 1 runs workloads on
+// a bare Host; nodes > 1 builds a cluster::Cluster with a migration fabric.
+struct TopologyConfig {
+  int nodes = 1;
+  HostSpecConfig host;
+  double link_gbps = 10.0;
+  double link_rtt_us = 200.0;
+};
+
+// Pre-created domain shells (split toolstack). `image` names the registry
+// flavor whose memory size and network appetite the shells match.
+struct ShellPoolConfig {
+  std::string image;
+  int target = 8;
+  std::optional<bool> wants_net;  // default: the image's own wants_net
+};
+
+// One entry of the guest mix for sequential-boots workloads: either a VM
+// image from the registry or a container/process runtime baseline.
+struct GuestGroupConfig {
+  std::string series;        // series name in tables + BENCH json
+  std::string image;         // VM registry name ("daytime", "tinyx", ...)
+  std::string runtime;       // "docker" | "process" (mutually exclusive)
+  int count = 0;
+  double pad_to_mib = 0.0;   // pad the image to this size (Figure 2 method)
+  std::string name_prefix;   // VM naming: <prefix><i>; default "<series>-"
+};
+
+// Workload kinds.
+enum class WorkloadKind {
+  kSequentialBoots,  // boot group after group, measuring create/boot per VM
+  kChurnStorm,       // concurrent create/destroy jobs through NodeApi
+  kFleetDeploy,      // cluster-wide deploys through placement + admission
+};
+
+struct WorkloadConfig {
+  WorkloadKind kind = WorkloadKind::kSequentialBoots;
+
+  // sequential-boots
+  std::vector<GuestGroupConfig> guests;
+
+  // churn-storm + fleet-deploy
+  std::string image = "daytime";
+  int concurrency = 8;
+
+  // churn-storm
+  int operations = 0;
+  int max_live = 0;              // force destroys once this many VMs run
+  double destroy_fraction = 0.0; // probability an op is a destroy
+
+  // fleet-deploy
+  int vms = 0;
+  bool wait_boot = true;
+  std::vector<std::string> policies;  // placement policies to sweep
+};
+
+struct Spec {
+  std::string name;
+  std::string title;
+  uint64_t seed = 1;
+  std::string mechanisms = "lightvm";  // xl | chaos-xs | chaos-xs-split |
+                                       // chaos-noxs | lightvm | lightvm-shared
+  TopologyConfig topology;
+  std::optional<ShellPoolConfig> shell_pool;
+  WorkloadConfig workload;
+  int sample_points = 25;  // printed rows per series (full data in BENCH json)
+};
+
+// Parses a spec from JSON text / a file. Strict: every key must be known,
+// required fields present, values in range.
+lv::Result<Spec> ParseSpec(std::string_view text);
+lv::Result<Spec> LoadSpecFile(const std::string& path);
+
+// Resolution helpers shared with the runner and tests.
+lv::Result<lightvm::HostSpec> ResolveHostSpec(const HostSpecConfig& config);
+lv::Result<lightvm::Mechanisms> MechanismsByName(const std::string& name);
+const char* WorkloadKindName(WorkloadKind kind);
+
+}  // namespace scenario

@@ -85,6 +85,11 @@ class [[nodiscard]] Co {
 
   bool valid() const { return h_ != nullptr; }
 
+  // True once the task has run to completion (it is parked at its final
+  // suspend point). Only meaningful for owner-started tasks: a detached frame
+  // destroys itself on completion.
+  bool done() const { return h_ != nullptr && h_.done(); }
+
   // Awaitable protocol: awaiting a Co starts it and suspends the caller until
   // it completes.
   bool await_ready() const noexcept { return false; }
@@ -101,6 +106,18 @@ class [[nodiscard]] Co {
     if constexpr (!std::is_void_v<T>) {
       return std::move(*p.value);
     }
+  }
+
+  // Starts the task while the caller retains ownership of the frame: runs it
+  // until its first suspension, exactly like Engine::Spawn but without
+  // detaching. Unlike a detached task, the frame survives completion and is
+  // destroyed by ~Co — use this for daemon-style loops that may still be
+  // parked on a sync primitive when their owner is torn down, where a
+  // detached frame would be unreachable (and leak). An exception escaping an
+  // owner-started task that is never awaited is dropped with the frame.
+  void Start() {
+    LV_CHECK_MSG(h_ != nullptr, "starting an empty Co");
+    h_.resume();
   }
 
   // Transfers ownership of the frame out (used by Engine::Spawn to detach).

@@ -106,12 +106,27 @@ void ChaosDaemon::Start(sim::ExecCtx daemon_ctx) {
   // The refill loop runs on its own trace row so pooled-shell preparation is
   // visibly asynchronous to the creations it feeds.
   daemon_ctx = daemon_ctx.OnTrack(trace::Tracer::Get().NewTrack("chaosd"));
-  env_.engine->Spawn(RefillLoop(daemon_ctx));
+  loop_ = RefillLoop(daemon_ctx);
+  loop_.Start();
 }
 
 void ChaosDaemon::Stop() {
+  if (!running_) {
+    return;
+  }
   running_ = false;
   work_->Release();  // Wake the loop so it can observe the stop.
+  // Drain: step the engine until the loop frame completes, so that no queued
+  // event still references it. A suspended frame cannot be destroyed safely
+  // while a wakeup for it is in flight, and resuming it after this daemon
+  // dies would touch freed members. Bounded: the wakeup above — or, for a
+  // refill already in flight, its completion — leads the loop straight to
+  // the running_ check and out. Events for other actors that fire during the
+  // drain are safe by construction: Stop() runs while the host's services
+  // are still alive, and frames of previously torn-down actors self-
+  // terminate via their shared liveness tokens.
+  while (!loop_.done() && env_.engine->Step()) {
+  }
 }
 
 std::optional<ChaosDaemon::Flavor> ChaosDaemon::NextDeficit() const {

@@ -78,6 +78,11 @@ class ChaosDaemon {
   std::unique_ptr<sim::Semaphore> work_;
   bool running_ = false;
   int64_t shells_built_ = 0;
+  // The running RefillLoop frame. Owned (not detached onto the engine) so
+  // that teardown with the loop still parked on `work_` destroys the frame
+  // instead of leaking it. Declared last: it is destroyed before the
+  // semaphore holding its wakeup handle.
+  sim::Co<void> loop_;
 };
 
 }  // namespace toolstack

@@ -114,6 +114,7 @@ void Tracer::Clear() {
   for (auto& stack : open_) {
     stack.clear();
   }
+  epoch_ = lv::Duration();
 }
 
 void Tracer::Reset() {

@@ -88,6 +88,16 @@ class Tracer {
     now_ctx_ = nullptr;
   }
 
+  // Re-bases the clock for a new simulated-time epoch. A fresh sim::Engine
+  // restarts simulated time at zero; calling this between engines shifts
+  // all subsequent stamps to start where the recorded buffer ends, so one
+  // exported file stays in a single monotonic time domain across engines
+  // (the scenario runner uses one engine per benchmark series).
+  void BeginEpoch() {
+    epoch_ = events_.empty() ? lv::Duration()
+                             : events_.back().ts - lv::TimePoint();
+  }
+
   // Registers a named track. Cheap (one string); long-lived components
   // (daemons) register unconditionally, per-VM tracks only when enabled.
   TrackId NewTrack(std::string name);
@@ -123,11 +133,14 @@ class Tracer {
 
  private:
   Tracer() = default;
-  lv::TimePoint Now() const { return now_fn_ ? now_fn_(now_ctx_) : lv::TimePoint(); }
+  lv::TimePoint Now() const {
+    return (now_fn_ ? now_fn_(now_ctx_) : lv::TimePoint()) + epoch_;
+  }
 
   bool enabled_ = false;
   NowFn now_fn_ = nullptr;
   void* now_ctx_ = nullptr;
+  lv::Duration epoch_;  // Stamp shift for the current engine epoch.
   std::vector<Event> events_;
   std::vector<std::string> track_names_{"host"};
   // Per-track stack of open-span event indices (drives EndSpan naming).
