@@ -9,12 +9,25 @@
 //                 first suspension point, so concurrent Deploys can never
 //                 oversubscribe a node,
 //  * migration  — cluster-level Migrate() re-homes a VM between nodes and
-//                 keeps the accounting straight.
+//                 keeps the accounting straight,
+//  * healing    — an opt-in health monitor detects crashed nodes, writes
+//                 their budgets off, and re-places (evacuates) their VMs on
+//                 the survivors, budget-correct throughout.
+//
+// Fault tolerance contract: every await in Deploy/Retire/Migrate records the
+// target node's generation first. When the health monitor declares a node
+// dead it bumps the generation and resets the node's committed budgets, so a
+// resuming operation must not release (or re-insert) anything unless the
+// generation still matches — otherwise a late rollback would corrupt the
+// fresh bookkeeping. Deploys also retry transient toolstack errors with
+// exponential backoff, and re-place exactly once when the chosen node dies
+// between admission and completion (instead of leaking the reservation).
 //
 // All nodes share one sim::Engine, so a whole-cluster run stays a single
 // deterministic event sequence.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +52,13 @@ struct ClusterSpec {
   lv::Bytes memory_budget;
   int64_t vcpu_budget = 0;
   int64_t vcpu_overcommit = 32;
+
+  // Self-healing knobs (used once StartHealthMonitor() runs).
+  lv::Duration health_period = lv::Duration::Millis(10);
+  // Attempts per placement for transient (kUnavailable) create failures; the
+  // backoff doubles after each failed attempt.
+  int create_retries = 3;
+  lv::Duration retry_backoff = lv::Duration::Millis(10);
 };
 
 // A VM's cluster-wide identity: which node it lives on and its domain id
@@ -70,16 +90,35 @@ class Cluster {
   std::vector<NodeView> views() const;
 
   // Places `config` with the policy, commits its budget and creates the VM
-  // on the chosen node (boot-waited when `wait_boot`). Fails with
-  // kUnavailable when no node admits the VM.
+  // on the chosen node (boot-waited when `wait_boot`). Transient toolstack
+  // failures are retried with backoff; if the chosen node dies under the
+  // deploy the reservation is released and placement is retried once on the
+  // survivors. Fails with kUnavailable when no node admits the VM or the
+  // re-placed attempt also loses its node.
   sim::Co<lv::Result<VmHandle>> Deploy(toolstack::VmConfig config, bool wait_boot);
 
-  // Destroys the VM and releases its budget.
+  // Destroys the VM and releases its budget. Retiring a VM whose node died
+  // mid-destroy succeeds (the node's state is gone either way).
   sim::Co<lv::Status> Retire(VmHandle handle);
 
   // Migrates the VM to `target_node` (admission-checked there) and returns
   // its new handle.
   sim::Co<lv::Result<VmHandle>> Migrate(VmHandle handle, int target_node);
+
+  // --- Self-healing ----------------------------------------------------------
+
+  // Starts the periodic health monitor: every spec.health_period it scans
+  // for crashed nodes, writes off their budgets, evacuates their VMs onto
+  // the survivors and re-admits rebooted nodes. Also asserts the cluster
+  // invariants (admission within budget, no leaked host resources) on every
+  // sweep. Opt-in so fault-free runs schedule no extra events. Idempotent.
+  void StartHealthMonitor();
+
+  // Crashes / settles-then-reboots one node (fault-injection entry points;
+  // detection and recovery stay with the health monitor).
+  void CrashNode(int node);
+  void RequestReboot(int node);
+  bool node_alive(int node) const { return nodes_[node].alive; }
 
   int64_t vms_deployed() const { return vms_deployed_; }
   int64_t deploy_failures() const { return deploy_failures_; }
@@ -88,23 +127,57 @@ class Cluster {
   // Total VMs currently running across all nodes.
   int64_t total_vms() const;
 
+  // Self-healing bookkeeping (chaos bench + tests).
+  int64_t node_failures() const { return node_failures_; }
+  int64_t vms_lost() const { return vms_lost_; }
+  int64_t vms_recovered() const { return vms_recovered_; }
+  int64_t vms_unrecovered() const { return vms_unrecovered_; }
+  int64_t deploy_retries() const { return deploy_retries_; }
+  int64_t deploy_replacements() const { return deploy_replacements_; }
+  int64_t invariant_failures() const { return invariant_failures_; }
+  // Detection-to-redeploy latency of every recovered VM, in ms.
+  const std::vector<double>& recovery_ms() const { return recovery_ms_; }
+
+  // Admission-budget drift: max |committed - sum of placements| across
+  // nodes. Zero at quiescence (no deploys in flight) iff every commit was
+  // matched by exactly one release.
+  struct Drift {
+    lv::Bytes memory;
+    int64_t vcpus = 0;
+  };
+  Drift AdmissionDrift() const;
+
  private:
   struct Node {
     std::unique_ptr<lightvm::Host> host;
     lv::Bytes memory_committed;
     int64_t vcpus_committed = 0;
     int64_t active_creates = 0;
+    bool alive = true;
+    // Bumped when the health monitor declares the node dead; guards every
+    // budget rollback that crosses a suspension point.
+    int64_t generation = 0;
   };
   // Budget held by one placed VM, so Retire/Migrate release exactly what
-  // Deploy committed even if the config changes meaning later.
+  // Deploy committed even if the config changes meaning later. The config is
+  // kept so a dead node's VMs can be re-placed (evacuated) elsewhere.
   struct Placement {
     lv::Bytes memory;
     int64_t vcpus = 0;
+    toolstack::VmConfig config;
   };
 
   static int64_t Key(VmHandle handle) {
     return (static_cast<int64_t>(handle.node) << 32) | handle.domid;
   }
+
+  sim::Co<void> HealthLoop();
+  sim::Co<void> RecoveryLoop();
+  sim::Co<void> RebootWhenSettled(int node);
+  // Declares `node` dead: bumps its generation, zeroes its budgets, and
+  // returns its placements (sorted by domid) with their keys erased.
+  std::vector<std::pair<hv::DomainId, Placement>> WriteOffNode(int node);
+  void CheckInvariants();
 
   sim::Engine* engine_;
   ClusterSpec spec_;
@@ -116,6 +189,31 @@ class Cluster {
   int64_t deploy_failures_ = 0;
   int64_t admission_rejects_ = 0;
   int64_t migrations_ = 0;
+  int64_t node_failures_ = 0;
+  int64_t vms_lost_ = 0;
+  int64_t vms_recovered_ = 0;
+  int64_t vms_unrecovered_ = 0;
+  int64_t deploy_retries_ = 0;
+  int64_t deploy_replacements_ = 0;
+  int64_t invariant_failures_ = 0;
+  std::vector<double> recovery_ms_;
+  bool monitor_stop_ = false;
+  // VMs written off a dead node, waiting for the recovery loop to re-place
+  // them. Detection (HealthLoop) only enqueues, so a second node crashing
+  // while an evacuation is in flight is still detected on the next sweep.
+  struct Evacuee {
+    hv::DomainId domid = hv::kInvalidDomain;
+    int from_node = -1;
+    lv::TimePoint detected;
+    toolstack::VmConfig config;
+  };
+  std::deque<Evacuee> evac_queue_;
+  // Owner-held loop frames (own-and-drain): ~Cluster signals stop and steps
+  // the engine until every frame finishes, then ~Co frees them. Declared
+  // last so they die before anything they reference.
+  std::vector<sim::Co<void>> reboot_waiters_;
+  sim::Co<void> monitor_;
+  sim::Co<void> recovery_;
 };
 
 }  // namespace cluster

@@ -3,7 +3,8 @@
 namespace cluster {
 
 bool Admits(const NodeView& node, const toolstack::VmConfig& config) {
-  return node.memory_committed + config.image.memory <= node.memory_budget &&
+  return node.alive &&
+         node.memory_committed + config.image.memory <= node.memory_budget &&
          node.vcpus_committed + config.vcpus <= node.vcpu_budget;
 }
 

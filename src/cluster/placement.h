@@ -18,6 +18,7 @@ namespace cluster {
 // suspension point, so concurrent deploys cannot oversubscribe a node).
 struct NodeView {
   int index = 0;
+  bool alive = true;  // dead nodes never admit (health monitor marks these)
   lv::Bytes memory_budget;
   lv::Bytes memory_committed;
   int64_t vcpu_budget = 0;

@@ -7,6 +7,8 @@ Dom0Services::Dom0Services(Deps deps, const Mechanisms& mechanisms) : deps_(deps
   control_pages_ = std::make_unique<xdev::ControlPages>();
   bash_hotplug_ = std::make_unique<xdev::BashHotplug>(deps_.engine, &dev_costs_);
   xendevd_ = std::make_unique<xdev::Xendevd>(&dev_costs_);
+  bash_hotplug_->set_faults(deps_.faults);
+  xendevd_->set_faults(deps_.faults);
 
   bool use_store = mechanisms.toolstack == ToolstackKind::kXl || !mechanisms.noxs;
 
@@ -58,6 +60,7 @@ void Dom0Services::Populate(toolstack::HostEnv* env) const {
   env->bash_hotplug = bash_hotplug_.get();
   env->xendevd = xendevd_.get();
   env->sw = switch_.get();
+  env->faults = deps_.faults;
 }
 
 sim::ExecCtx Dom0Services::Dom0Ctx() {

@@ -15,6 +15,7 @@
 #include "src/devices/backend.h"
 #include "src/devices/hotplug.h"
 #include "src/devices/sysctl.h"
+#include "src/faults/hooks.h"
 #include "src/hv/hypervisor.h"
 #include "src/net/switch.h"
 #include "src/sim/cpu.h"
@@ -31,6 +32,8 @@ class Dom0Services {
     sim::CpuScheduler* cpu = nullptr;
     sim::CorePlacer* placer = nullptr;
     hv::Hypervisor* hv = nullptr;
+    // Fault-injection hook state (owned by Host; may be null in fixtures).
+    faults::FaultHooks* faults = nullptr;
   };
 
   // Brings the services up: back-ends constructed, store daemon started (if
@@ -58,6 +61,7 @@ class Dom0Services {
   xdev::SysctlBackend& sysctl() { return *sysctl_; }
   xdev::HotplugRunner* bash_hotplug() { return bash_hotplug_.get(); }
   xdev::HotplugRunner* xendevd() { return xendevd_.get(); }
+  xdev::ControlPages* control_pages() { return control_pages_.get(); }
   xdev::Costs* device_costs() { return &dev_costs_; }
 
  private:

@@ -1,5 +1,7 @@
 #include "src/core/host.h"
 
+#include "src/base/assert.h"
+
 namespace lightvm {
 
 std::string Mechanisms::label() const {
@@ -53,13 +55,33 @@ Host::Host(sim::Engine* engine, HostSpec spec, Mechanisms mechanisms)
   cpu_ = std::make_unique<sim::CpuScheduler>(engine_, spec_.cores);
   placer_ = std::make_unique<sim::CorePlacer>(spec_.cores, spec_.dom0_cores);
   hv_ = std::make_unique<hv::Hypervisor>(engine_, spec_.memory);
-  Dom0Services::Deps deps{engine_, cpu_.get(), placer_.get(), hv_.get()};
+  Dom0Services::Deps deps{engine_, cpu_.get(), placer_.get(), hv_.get(), &fault_hooks_};
   dom0_ = std::make_unique<Dom0Services>(deps, mechanisms_);
   node_ = std::make_unique<NodeApi>(deps, dom0_.get(), mechanisms_);
+  baseline_.channels = hv_->event_channels().open_channels();
+  baseline_.grants = hv_->grant_table().active_grants();
+  baseline_.device_pages = dom0_->control_pages()->num_pages();
+  baseline_.memory = MemoryUsed();
 }
 
 // NodeApi (chaos daemon) stops before Dom0Services (watchers, store).
 Host::~Host() {
+  // Background loops mid-CPU-slice cannot be destroyed (the scheduler holds
+  // their raw handles); step the engine until every surviving guest's loop
+  // is parked in a cancellable sleep, so teardown frees every frame.
+  while (true) {
+    bool all_quiescent = true;
+    for (hv::DomainId domid : node_->toolstack().TrackedDomains()) {
+      guests::Guest* g = node_->guest(domid);
+      if (g != nullptr && !g->bg_quiescent()) {
+        all_quiescent = false;
+        break;
+      }
+    }
+    if (all_quiescent || !engine_->Step()) {
+      break;
+    }
+  }
   node_.reset();
   dom0_.reset();
 }
@@ -106,6 +128,46 @@ void Host::PrefillShellPool() {
 
 lv::Bytes Host::MemoryUsed() const {
   return spec_.dom0_memory + hv_->memory().used();
+}
+
+// --- Fault injection ------------------------------------------------------------
+
+void Host::Crash() {
+  if (crashed_) {
+    return;
+  }
+  crashed_ = true;
+  crash_settled_ = false;
+  fault_hooks_.node_crashed = true;
+  node_->set_accepting(false);
+  engine_->Spawn(SettleCrash());
+}
+
+sim::Co<void> Host::SettleCrash() {
+  // Phase 1: let the in-flight job layer drain. Every job either completes
+  // its current phase or aborts at its next toolstack fault checkpoint; no
+  // frame is ever destroyed mid-flight.
+  while (node_->jobs_active() > 0) {
+    co_await engine_->Sleep(lv::Duration::Millis(1));
+  }
+  // Phase 2: tear every surviving VM down through the normal destroy path
+  // (the Dom0 daemons keep running in the simulation; a dead node keeps no
+  // guest state). Errors are ignored — the state is lost either way.
+  for (hv::DomainId domid : node_->toolstack().TrackedDomains()) {
+    (void)co_await node_->DestroyVm(domid);
+  }
+  crash_settled_ = true;
+}
+
+void Host::Reboot() {
+  if (!crashed_) {
+    return;
+  }
+  LV_CHECK_MSG(crash_settled_, "Reboot() before the crash settle pass finished");
+  crashed_ = false;
+  crash_settled_ = false;
+  fault_hooks_.node_crashed = false;
+  node_->set_accepting(true);
 }
 
 }  // namespace lightvm

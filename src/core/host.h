@@ -19,9 +19,20 @@
 #include "src/core/dom0.h"
 #include "src/core/mechanisms.h"
 #include "src/core/node_api.h"
+#include "src/faults/hooks.h"
 #include "src/guests/guest.h"
 
 namespace lightvm {
+
+// Resource counters captured when a fresh Host finishes construction; the
+// leak invariants (VerifyNoLeakedResources) compare a quiescent host against
+// this.
+struct ResourceBaseline {
+  int64_t channels = 0;
+  int64_t grants = 0;
+  int64_t device_pages = 0;
+  lv::Bytes memory;
+};
 
 struct HostSpec {
   std::string name = "host";
@@ -62,6 +73,23 @@ class Host {
 
   sim::Co<void> WaitBooted(hv::DomainId domid);
 
+  // --- Fault injection ------------------------------------------------------
+
+  // Crashes the node: new lifecycle submissions fail fast with kUnavailable,
+  // in-flight jobs abort at their next toolstack fault checkpoint, and once
+  // the job layer drains, a detached settle pass tears every surviving VM
+  // down (their state is lost — a dead node keeps nothing). Idempotent.
+  void Crash();
+  // Brings a crashed node back, empty. Requires the settle pass to have
+  // finished (drive the engine until crash_settled()).
+  void Reboot();
+  bool crashed() const { return crashed_; }
+  // True once the post-crash settle pass has torn all VM state down; the
+  // leak invariants hold from this point until Reboot().
+  bool crash_settled() const { return crash_settled_; }
+  faults::FaultHooks& fault_hooks() { return fault_hooks_; }
+  const ResourceBaseline& resource_baseline() const { return baseline_; }
+
   // Shell-pool configuration (split toolstack). Call before creating VMs.
   void AddShellFlavor(lv::Bytes memory, bool wants_net, int target);
   // Runs the engine until the shell pool is fully stocked.
@@ -99,14 +127,22 @@ class Host {
   double CpuUtilization() const { return cpu_->WindowUtilization(); }
 
  private:
+  sim::Co<void> SettleCrash();
+
   sim::Engine* engine_;
   HostSpec spec_;
   Mechanisms mechanisms_;
+  // Declared before the services so hooks outlive everything that points at
+  // them (env, hotplug runners).
+  faults::FaultHooks fault_hooks_;
+  bool crashed_ = false;
+  bool crash_settled_ = false;
   std::unique_ptr<sim::CpuScheduler> cpu_;
   std::unique_ptr<sim::CorePlacer> placer_;
   std::unique_ptr<hv::Hypervisor> hv_;
   std::unique_ptr<Dom0Services> dom0_;
   std::unique_ptr<NodeApi> node_;
+  ResourceBaseline baseline_;
 };
 
 }  // namespace lightvm

@@ -120,6 +120,10 @@ void NodeApi::FinishJob(bool ok) {
 
 CreateJob NodeApi::SubmitCreate(toolstack::VmConfig config, bool wait_boot) {
   CreateJob result(deps_.engine);
+  if (!accepting_) {
+    result.Set(lv::Err(lv::ErrorCode::kUnavailable, "node not accepting work"));
+    return result;
+  }
   int64_t job = StartJob();
   deps_.engine->Spawn(RunCreateJob(job, std::move(config), wait_boot, result));
   return result;
@@ -127,6 +131,10 @@ CreateJob NodeApi::SubmitCreate(toolstack::VmConfig config, bool wait_boot) {
 
 StatusJob NodeApi::SubmitDestroy(hv::DomainId domid) {
   StatusJob result(deps_.engine);
+  if (!accepting_) {
+    result.Set(lv::Err(lv::ErrorCode::kUnavailable, "node not accepting work"));
+    return result;
+  }
   int64_t job = StartJob();
   deps_.engine->Spawn(RunDestroyJob(job, domid, result));
   return result;
@@ -134,6 +142,10 @@ StatusJob NodeApi::SubmitDestroy(hv::DomainId domid) {
 
 StatusJob NodeApi::SubmitMigrate(hv::DomainId domid, NodeApi* target, xnet::Link* link) {
   StatusJob result(deps_.engine);
+  if (!accepting_) {
+    result.Set(lv::Err(lv::ErrorCode::kUnavailable, "node not accepting work"));
+    return result;
+  }
   int64_t job = StartJob();
   deps_.engine->Spawn(RunMigrateJob(job, domid, target, link, result));
   return result;

@@ -66,6 +66,11 @@ class NodeApi {
   int64_t jobs_failed() const { return jobs_failed_; }
   int64_t jobs_active() const { return jobs_started_ - jobs_completed_; }
 
+  // Fail-fast gate (Host::Crash): while false, submitted jobs complete
+  // immediately with kUnavailable instead of touching the dead node.
+  void set_accepting(bool accepting) { accepting_ = accepting; }
+  bool accepting() const { return accepting_; }
+
   // --- Shell pool (split toolstack) -----------------------------------------
 
   void AddShellFlavor(lv::Bytes memory, bool wants_net, int target);
@@ -120,6 +125,7 @@ class NodeApi {
   std::unique_ptr<toolstack::Toolstack> toolstack_;
   std::unique_ptr<toolstack::MigrationDaemon> migration_daemon_;
   std::unordered_set<hv::DomainId> inflight_;
+  bool accepting_ = true;
   int64_t next_job_ = 0;
   int64_t jobs_started_ = 0;
   int64_t jobs_completed_ = 0;

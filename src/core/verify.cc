@@ -1,0 +1,75 @@
+#include "src/core/verify.h"
+
+#include "src/base/strings.h"
+#include "src/core/host.h"
+
+namespace lightvm {
+
+lv::Status VerifyNoLeakedResources(Host& host) {
+  hv::Hypervisor& hv = host.hv();
+
+  // No zombie domains: every destroy must fully reap its target.
+  int64_t dead = hv.NumDomainsInState(hv::DomainState::kDead);
+  if (dead > 0) {
+    return lv::Err(lv::ErrorCode::kInternal,
+                   lv::StrFormat("%lld dead domain(s) linger in the hypervisor",
+                                 (long long)dead));
+  }
+
+  // Every toolstack-tracked VM maps to a domain the hypervisor still knows.
+  for (hv::DomainId domid : host.toolstack().TrackedDomains()) {
+    if (hv.FindDomain(domid) == nullptr) {
+      return lv::Err(lv::ErrorCode::kInternal,
+                     lv::StrFormat("tracked dom%lld has no hypervisor domain",
+                                   (long long)domid));
+    }
+  }
+
+  // Admission never oversubscribes the machine.
+  if (hv.memory().used() > hv.memory().total()) {
+    return lv::Err(lv::ErrorCode::kInternal,
+                   lv::StrFormat("memory oversubscribed: %lld of %lld pages",
+                                 (long long)hv.memory().used_pages(),
+                                 (long long)hv.memory().total_pages()));
+  }
+
+  // The strict baseline comparison only holds once the host is quiescent:
+  // no VMs, no pooled shells (they intentionally hold channels and memory)
+  // and no lifecycle jobs in flight.
+  toolstack::ChaosDaemon* daemon = host.chaos_daemon();
+  bool quiescent = host.num_vms() == 0 && host.node().jobs_active() == 0 &&
+                   (daemon == nullptr || daemon->pool_size() == 0);
+  if (!quiescent) {
+    return lv::Status::Ok();
+  }
+  const ResourceBaseline& base = host.resource_baseline();
+  int64_t channels = hv.event_channels().open_channels();
+  if (channels != base.channels) {
+    return lv::Err(lv::ErrorCode::kInternal,
+                   lv::StrFormat("event channels leaked: %lld open, baseline %lld",
+                                 (long long)channels, (long long)base.channels));
+  }
+  int64_t grants = hv.grant_table().active_grants();
+  if (grants != base.grants) {
+    return lv::Err(lv::ErrorCode::kInternal,
+                   lv::StrFormat("grants leaked: %lld active, baseline %lld",
+                                 (long long)grants, (long long)base.grants));
+  }
+  int64_t device_pages = host.dom0().control_pages()->num_pages();
+  if (device_pages != base.device_pages) {
+    return lv::Err(lv::ErrorCode::kInternal,
+                   lv::StrFormat("device pages leaked: %lld mapped, baseline %lld",
+                                 (long long)device_pages,
+                                 (long long)base.device_pages));
+  }
+  lv::Bytes memory = host.MemoryUsed();
+  if (memory != base.memory) {
+    return lv::Err(lv::ErrorCode::kInternal,
+                   lv::StrFormat("memory leaked: %lld bytes used, baseline %lld",
+                                 (long long)memory.count(),
+                                 (long long)base.memory.count()));
+  }
+  return lv::Status::Ok();
+}
+
+}  // namespace lightvm

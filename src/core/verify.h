@@ -1,0 +1,23 @@
+// Reusable resource-leak invariants, extracted from the failure tests so
+// the cluster health checker, the chaos bench and the fault-plan sweeps can
+// all assert the same contract after every injected fault:
+//
+//  * no zombie domains (kDead entries lingering in the hypervisor),
+//  * every toolstack-tracked VM maps to a live domain,
+//  * admission never oversubscribes host memory,
+//  * and once the host is quiescent (no VMs, no pooled shells, no in-flight
+//    jobs) every counter — event channels, grants, device pages, memory —
+//    is back at the post-construction baseline.
+#pragma once
+
+#include "src/base/result.h"
+
+namespace lightvm {
+
+class Host;
+
+// Ok when all invariants hold; otherwise kInternal with a message naming the
+// first violated invariant.
+lv::Status VerifyNoLeakedResources(Host& host);
+
+}  // namespace lightvm

@@ -157,13 +157,19 @@ void BackendDriver::StartXsWatcher(xs::Daemon* store, sim::ExecCtx backend_ctx) 
   xs_client_ = std::make_unique<xs::XsClient>(engine_, store, hv::kDom0);
   backend_ctx_ = backend_ctx;
   watcher_running_ = true;
-  engine_->Spawn(XsWatcherLoop(backend_ctx));
+  watcher_loop_ = XsWatcherLoop(backend_ctx);
+  watcher_loop_.Start();
 }
 
 void BackendDriver::StopXsWatcher() {
-  if (watcher_running_ && xs_client_) {
-    watcher_running_ = false;
-    xs_client_->InjectShutdownEvent();
+  if (!watcher_running_ || !xs_client_) {
+    return;
+  }
+  watcher_running_ = false;
+  xs_client_->InjectShutdownEvent();
+  // Drain: step the engine until the watcher frame completes so no queued
+  // wakeup still references it (same contract as ChaosDaemon::Stop).
+  while (!watcher_loop_.done() && engine_->Step()) {
   }
 }
 

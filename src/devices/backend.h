@@ -51,6 +51,8 @@ class BackendDriver {
 
   // Starts the back-end watcher thread with its own store connection.
   void StartXsWatcher(xs::Daemon* store, sim::ExecCtx backend_ctx);
+  // Stops the watcher and drains the engine until its frame has completed
+  // (own-and-drain; must not be called from inside a coroutine).
   void StopXsWatcher();
 
   // Toolstack half of device creation: writes front-end + back-end entries
@@ -138,6 +140,9 @@ class BackendDriver {
   bool watcher_running_ = false;
   std::unordered_map<hv::DomainId, Instance> instances_;
   Stats stats_;
+  // Owner-held watcher frame (own-and-drain, ROADMAP item 6). Declared last
+  // so the frame dies before the client/channel it may be parked on.
+  sim::Co<void> watcher_loop_;
 };
 
 }  // namespace xdev

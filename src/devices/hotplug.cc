@@ -13,6 +13,11 @@ sim::Co<void> BashHotplug::RunScript(sim::ExecCtx ctx, hv::DeviceType type) {
   // Uncontended, Acquire() completes synchronously (no event), so serial
   // callers see no timing change; overlapping scripts queue FIFO.
   co_await lock_->Acquire();
+  lv::Duration stall = TakeStall();
+  if (!stall.is_zero()) {
+    // A buggy/timing-out script spins before completing, lock held.
+    co_await ctx.Work(stall);
+  }
   co_await ctx.Work(type == hv::DeviceType::kBlock ? costs_->bash_block_setup
                                                    : costs_->bash_hotplug);
   lock_->Release();
@@ -30,6 +35,10 @@ sim::Co<void> BashHotplug::Teardown(sim::ExecCtx ctx, hv::DeviceType type) {
 sim::Co<void> Xendevd::Setup(sim::ExecCtx ctx, hv::DeviceType type) {
   static metrics::Counter& runs = metrics::GetCounter("devices.hotplug.xendevd_runs");
   runs.Inc();
+  lv::Duration stall = TakeStall();
+  if (!stall.is_zero()) {
+    co_await ctx.Work(stall);
+  }
   co_await ctx.Work(type == hv::DeviceType::kBlock ? costs_->xendevd_block_setup
                                                    : costs_->xendevd_setup);
 }

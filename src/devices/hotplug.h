@@ -11,6 +11,7 @@
 
 #include "src/base/result.h"
 #include "src/devices/costs.h"
+#include "src/faults/hooks.h"
 #include "src/hv/types.h"
 #include "src/sim/cpu.h"
 #include "src/sim/engine.h"
@@ -26,6 +27,18 @@ class HotplugRunner {
   // Charges the teardown cost.
   virtual sim::Co<void> Teardown(sim::ExecCtx ctx, hv::DeviceType type) = 0;
   virtual const char* name() const = 0;
+
+  // Fault-injection hook (may stay null). A scheduled stall makes the next
+  // script run(s) take extra time — and in bash mode the stalled script holds
+  // the global hotplug lock, queueing every concurrent create behind it.
+  void set_faults(faults::FaultHooks* faults) { faults_ = faults; }
+
+ protected:
+  // Extra latency the current run must absorb, or zero.
+  lv::Duration TakeStall() { return faults_ != nullptr ? faults_->TakeHotplugStall() : lv::Duration(); }
+
+ private:
+  faults::FaultHooks* faults_ = nullptr;
 };
 
 // Bash hotplug scripts invoked by xl/udevd. Script runs are serialized by a

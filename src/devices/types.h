@@ -70,6 +70,12 @@ class ControlPages {
     sysctl_pages_.erase(ref);
   }
 
+  // Registered pages of either kind (leak invariant: returns to baseline
+  // once every VM is gone).
+  int64_t num_pages() const {
+    return static_cast<int64_t>(device_pages_.size() + sysctl_pages_.size());
+  }
+
  private:
   std::unordered_map<hv::GrantRef, std::shared_ptr<DeviceControlPage>> device_pages_;
   std::unordered_map<hv::GrantRef, std::shared_ptr<SysctlControlPage>> sysctl_pages_;

@@ -1,0 +1,129 @@
+#include "src/faults/plan.h"
+
+#include <algorithm>
+
+#include "src/base/assert.h"
+#include "src/base/rng.h"
+#include "src/base/strings.h"
+
+namespace faults {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash:
+      return "node-crash";
+    case FaultKind::kNodeReboot:
+      return "node-reboot";
+    case FaultKind::kXsRestart:
+      return "xenstore-restart";
+    case FaultKind::kHotplugStall:
+      return "hotplug-stall";
+    case FaultKind::kLinkPartition:
+      return "link-partition";
+    case FaultKind::kCreateFault:
+      return "create-fault";
+  }
+  LV_UNREACHABLE();
+}
+
+bool FaultKindFromName(const std::string& name, FaultKind* out) {
+  static constexpr FaultKind kAll[] = {
+      FaultKind::kNodeCrash,    FaultKind::kNodeReboot,     FaultKind::kXsRestart,
+      FaultKind::kHotplugStall, FaultKind::kLinkPartition, FaultKind::kCreateFault,
+  };
+  for (FaultKind k : kAll) {
+    if (name == FaultKindName(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultEvent::ToString() const {
+  std::string s = lv::StrFormat("t=%lld kind=%s node=%d", static_cast<long long>(at.ns()),
+                                FaultKindName(kind), node);
+  if (kind == FaultKind::kLinkPartition) {
+    s += lv::StrFormat(" peer=%d", peer);
+  }
+  if (!duration.is_zero()) {
+    s += lv::StrFormat(" dur=%lld", static_cast<long long>(duration.ns()));
+  }
+  if (kind == FaultKind::kHotplugStall || kind == FaultKind::kCreateFault) {
+    s += lv::StrFormat(" count=%d", count);
+  }
+  return s;
+}
+
+void FaultPlan::SortByTime() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+}
+
+FaultPlan FaultPlan::Random(uint64_t seed, int nodes, int num_events, lv::Duration horizon) {
+  LV_CHECK(nodes >= 1);
+  LV_CHECK(horizon.ns() > 0);
+  lv::Rng rng(seed);
+  FaultPlan plan;
+  // Keep node 0 out of the crash pool so at least one node survives to host
+  // evacuated VMs; all other fault kinds may still target it.
+  const int crashable_lo = nodes > 1 ? 1 : 0;
+  for (int i = 0; i < num_events; ++i) {
+    FaultEvent ev;
+    ev.at = lv::Duration::Nanos(rng.Uniform(0, horizon.ns() - 1));
+    switch (rng.Uniform(0, 4)) {
+      case 0: {
+        ev.kind = FaultKind::kNodeCrash;
+        ev.node = static_cast<int>(rng.Uniform(crashable_lo, nodes - 1));
+        plan.events.push_back(ev);
+        // Pair the crash with a reboot later in (and sometimes past) the
+        // horizon so sweeps exercise both evacuation and node return.
+        FaultEvent reboot;
+        reboot.kind = FaultKind::kNodeReboot;
+        reboot.node = ev.node;
+        reboot.at = ev.at + lv::Duration::Nanos(rng.Uniform(horizon.ns() / 10, horizon.ns()));
+        plan.events.push_back(reboot);
+        continue;
+      }
+      case 1:
+        ev.kind = FaultKind::kXsRestart;
+        ev.node = static_cast<int>(rng.Uniform(0, nodes - 1));
+        ev.duration = lv::Duration::Millis(rng.Uniform(1, 50));
+        break;
+      case 2:
+        ev.kind = FaultKind::kHotplugStall;
+        ev.node = static_cast<int>(rng.Uniform(0, nodes - 1));
+        ev.duration = lv::Duration::Millis(rng.Uniform(5, 200));
+        ev.count = static_cast<int>(rng.Uniform(1, 4));
+        break;
+      case 3:
+        ev.kind = FaultKind::kLinkPartition;
+        ev.node = static_cast<int>(rng.Uniform(0, nodes - 1));
+        ev.peer = static_cast<int>(rng.Uniform(0, nodes - 1));
+        if (ev.peer == ev.node) {
+          ev.peer = (ev.peer + 1) % nodes;
+        }
+        ev.duration = lv::Duration::Millis(rng.Uniform(10, 500));
+        break;
+      case 4:
+        ev.kind = FaultKind::kCreateFault;
+        ev.node = static_cast<int>(rng.Uniform(0, nodes - 1));
+        ev.count = static_cast<int>(rng.Uniform(1, 3));
+        break;
+    }
+    plan.events.push_back(ev);
+  }
+  plan.SortByTime();
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const FaultEvent& ev : events) {
+    out += ev.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace faults

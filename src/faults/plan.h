@@ -1,0 +1,66 @@
+// FaultPlan: a deterministic schedule of fault events.
+//
+// A plan is pure data — what goes wrong, where, and when. The FaultInjector
+// (injector.h) turns a plan into scheduled engine events; the scenario spec
+// parses plans from the `faults` section of a JSON scenario. Because the
+// plan is fixed up front and every downstream consumer draws only from the
+// engine's seeded RNG, the same (seed, plan) pair always produces a
+// byte-identical event sequence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace faults {
+
+enum class FaultKind {
+  kNodeCrash,      // node dies mid-flight; its VMs are lost until recovery
+  kNodeReboot,     // a previously crashed node comes back, empty
+  kXsRestart,      // xenstored restarts; watches replay after the downtime
+  kHotplugStall,   // the next `count` hotplug script runs stall for `duration`
+  kLinkPartition,  // migration fabric between `node` and `peer` drops
+  kCreateFault,    // the next `count` creates on `node` fail transiently
+};
+
+// Stable lowercase names used by the scenario spec and the injector log.
+const char* FaultKindName(FaultKind kind);
+bool FaultKindFromName(const std::string& name, FaultKind* out);
+
+struct FaultEvent {
+  lv::Duration at;  // injection time relative to injector arm
+  FaultKind kind = FaultKind::kNodeCrash;
+  int node = 0;         // target node; link end A for partitions
+  int peer = -1;        // link end B (kLinkPartition only)
+  lv::Duration duration;  // downtime / stall length / partition length
+  int count = 1;        // events consumed (kHotplugStall, kCreateFault)
+
+  // Deterministic one-line rendering, e.g.
+  //   "t=1500000000 kind=node-crash node=2"
+  std::string ToString() const;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  size_t size() const { return events.size(); }
+
+  // Events sorted by injection time (stable, preserves insertion order for
+  // equal times) — the order the injector arms them in.
+  void SortByTime();
+
+  // Seeded random plan: `num_events` faults over nodes [0, nodes) spread
+  // uniformly across [0, horizon). Node crashes are paired with a reboot a
+  // random fraction of the horizon later so sweeps exercise recovery, and at
+  // least one node is never crashed (the cluster must keep a survivor to
+  // evacuate onto).
+  static FaultPlan Random(uint64_t seed, int nodes, int num_events, lv::Duration horizon);
+
+  // One line per event (ToString order), used for reproducibility asserts.
+  std::string ToString() const;
+};
+
+}  // namespace faults

@@ -23,12 +23,27 @@ class Link {
     return lv::Duration::SecondsF(static_cast<double>(bytes.count()) / bytes_per_sec_);
   }
 
+  // Fault injection: drops the fabric for `length`. New migrations fail fast
+  // while the partition holds (checked at connection setup; an established
+  // stream rides it out — TCP retransmits, the bandwidth model absorbs it).
+  // Overlapping partitions extend each other.
+  void Partition(lv::Duration length) {
+    lv::TimePoint until = engine_->now() + length;
+    if (until > partitioned_until_) {
+      partitioned_until_ = until;
+    }
+    static metrics::Counter& partitions = metrics::GetCounter("net.link.partitions");
+    partitions.Inc();
+  }
+  bool partitioned() const { return engine_->now() < partitioned_until_; }
+
   sim::Engine* engine() { return engine_; }
 
  private:
   sim::Engine* engine_;
   double bytes_per_sec_;
   lv::Duration rtt_;
+  lv::TimePoint partitioned_until_;
 };
 
 // One TCP connection over a link: handshake costs one RTT, each send costs

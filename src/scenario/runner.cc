@@ -1,6 +1,7 @@
 #include "src/scenario/runner.h"
 
 #include <algorithm>
+#include <optional>
 #include <ostream>
 #include <tuple>
 
@@ -8,6 +9,8 @@
 #include "src/base/strings.h"
 #include "src/cluster/cluster.h"
 #include "src/container/container.h"
+#include "src/core/verify.h"
+#include "src/faults/injector.h"
 #include "src/metrics/export.h"
 #include "src/sim/run.h"
 #include "src/toolstack/config.h"
@@ -69,6 +72,25 @@ CreateTiming CreateBootTimed(sim::Engine& engine, lightvm::Host& host,
   }
   timing.ok = true;
   return timing;
+}
+
+// --- Fault plans ------------------------------------------------------------
+
+// Materializes the spec's `faults` section: explicit events plus (for
+// clusters) the seeded random plan, merged and time-sorted.
+faults::FaultPlan BuildFaultPlan(const Spec& spec) {
+  const FaultsConfig& f = *spec.faults;
+  faults::FaultPlan plan = f.plan;
+  if (f.random_events > 0) {
+    uint64_t seed = f.random_seed != 0 ? f.random_seed : spec.seed;
+    faults::FaultPlan random = faults::FaultPlan::Random(
+        seed, spec.topology.nodes, f.random_events,
+        lv::Duration::MillisF(f.random_horizon_ms));
+    plan.events.insert(plan.events.end(), random.events.begin(),
+                       random.events.end());
+  }
+  plan.SortByTime();
+  return plan;
 }
 
 // --- Churn storm ------------------------------------------------------------
@@ -155,6 +177,10 @@ struct FleetState {
   int next = 0;
   int done = 0;
   bool failed = false;
+  // Chaos runs keep going when a deploy fails (nodes are being crashed under
+  // the fleet on purpose); failures are counted instead of aborting.
+  bool tolerate_failures = false;
+  int64_t deploys_failed = 0;
   std::string error;
   std::vector<int> node;
   std::vector<double> deploy_ms;
@@ -169,6 +195,11 @@ sim::Co<void> FleetWorker(FleetState* st) {
     lv::TimePoint t0 = st->engine->now();
     auto handle = co_await st->cl->Deploy(std::move(config), st->w->wait_boot);
     if (!handle.ok()) {
+      if (st->tolerate_failures) {
+        ++st->deploys_failed;
+        ++st->done;
+        continue;
+      }
       st->failed = true;
       st->error = lv::StrFormat("deploy of vm %d failed: %s", i,
                                 handle.error().message.c_str());
@@ -277,6 +308,22 @@ class Runner {
   void Settle(sim::Engine& engine) {
     sim::RunUntilCondition(engine, [] { return false; },
                            lv::Duration::Seconds(30));
+  }
+
+  // Chaos reporting (only emitted when the spec has a `faults` section, so
+  // fault-free runs stay byte-identical with their committed baselines).
+  void PrintFaultLog(const faults::FaultInjector& injector) {
+    out_ << lv::StrFormat("\n## faults (%lld injected)\n",
+                          (long long)injector.injected());
+    for (const std::string& line : injector.log()) {
+      out_ << line << "\n";
+    }
+  }
+
+  void PrintLeakCheck(lightvm::Host& host, int node) {
+    lv::Status ok = lightvm::VerifyNoLeakedResources(host);
+    out_ << lv::StrFormat("leak_check node%d: %s\n", node,
+                          ok.ok() ? "ok" : ok.error().message.c_str());
   }
 
   void SetupShellPool(lightvm::Host& host) {
@@ -404,6 +451,27 @@ class Runner {
     st.image = *image;
     st.rng = lv::Rng(spec_.seed);
 
+    // Declarative fault injection (single-node kinds only; the parser
+    // rejects node-crash/reboot/partition for one-node topologies).
+    std::optional<faults::FaultInjector> injector;
+    if (spec_.faults.has_value()) {
+      faults::FaultTargets targets;
+      targets.restart_xenstore = [&host](int, lv::Duration downtime) {
+        if (host.store() != nullptr) {
+          host.store()->InjectRestart(downtime);
+        }
+      };
+      targets.stall_hotplug = [&host](int, lv::Duration stall, int count) {
+        host.fault_hooks().hotplug_stall = stall;
+        host.fault_hooks().stall_next_hotplugs += count;
+      };
+      targets.fail_creates = [&host](int, int count) {
+        host.fault_hooks().fail_next_creates += count;
+      };
+      injector.emplace(&engine, BuildFaultPlan(spec_), std::move(targets));
+      injector->Arm();
+    }
+
     out_ << lv::StrFormat(
         "\n## churn storm (%d ops, concurrency %d, max_live %d, "
         "destroy_fraction %.2f)\n",
@@ -464,6 +532,23 @@ class Runner {
                       {"destroys", static_cast<double>(st.destroys)},
                       {"failures", static_cast<double>(st.create_failures +
                                                        st.destroy_failures)}});
+    if (injector.has_value()) {
+      PrintFaultLog(*injector);
+      const faults::FaultHooks& hooks = host.fault_hooks();
+      int64_t xs_restarts =
+          host.store() != nullptr ? host.store()->stats().restarts : 0;
+      out_ << lv::StrFormat(
+          "injected_create_faults=%lld injected_hotplug_stalls=%lld "
+          "xs_restarts=%lld\n",
+          (long long)hooks.injected_create_failures,
+          (long long)hooks.injected_hotplug_stalls, (long long)xs_restarts);
+      PrintLeakCheck(host, 0);
+      Point("faults",
+            {{"injected", static_cast<double>(injector->injected())},
+             {"create_faults", static_cast<double>(hooks.injected_create_failures)},
+             {"hotplug_stalls", static_cast<double>(hooks.injected_hotplug_stalls)},
+             {"xs_restarts", static_cast<double>(xs_restarts)}});
+    }
     return lv::Status::Ok();
   }
 
@@ -505,11 +590,39 @@ class Runner {
     auto image = toolstack::ImageByName(w.image);
     LV_CHECK(image.ok());
 
+    // Declarative fault injection: arm the plan against this cluster and let
+    // the health monitor detect, write off and evacuate what the plan kills.
+    std::optional<faults::FaultInjector> injector;
+    if (spec_.faults.has_value()) {
+      cl.StartHealthMonitor();
+      faults::FaultTargets targets;
+      targets.crash_node = [&cl](int node) { cl.CrashNode(node); };
+      targets.reboot_node = [&cl](int node) { cl.RequestReboot(node); };
+      targets.restart_xenstore = [&cl](int node, lv::Duration downtime) {
+        if (cl.host(node).store() != nullptr) {
+          cl.host(node).store()->InjectRestart(downtime);
+        }
+      };
+      targets.stall_hotplug = [&cl](int node, lv::Duration stall, int count) {
+        cl.host(node).fault_hooks().hotplug_stall = stall;
+        cl.host(node).fault_hooks().stall_next_hotplugs += count;
+      };
+      targets.partition_link = [&cl](int node, int peer, lv::Duration length) {
+        cl.link(node, peer)->Partition(length);
+      };
+      targets.fail_creates = [&cl](int node, int count) {
+        cl.host(node).fault_hooks().fail_next_creates += count;
+      };
+      injector.emplace(&engine, BuildFaultPlan(spec_), std::move(targets));
+      injector->Arm();
+    }
+
     FleetState st;
     st.engine = &engine;
     st.cl = &cl;
     st.w = &w;
     st.image = *image;
+    st.tolerate_failures = spec_.faults.has_value();
     st.node.assign(static_cast<size_t>(w.vms), -1);
     st.deploy_ms.assign(static_cast<size_t>(w.vms), 0.0);
 
@@ -533,11 +646,17 @@ class Runner {
 
     std::vector<int64_t> per_node(static_cast<size_t>(cspec.num_nodes), 0);
     lv::Samples lat;
+    int64_t deployed = 0;
     uint64_t placement_hash = 1469598103934665603ull;  // FNV offset basis.
     for (int i = 0; i < w.vms; ++i) {
       int node = st.node[static_cast<size_t>(i)];
-      ++per_node[static_cast<size_t>(node)];
-      lat.Add(st.deploy_ms[static_cast<size_t>(i)]);
+      if (node >= 0) {
+        // Failed deploys (chaos runs) keep node = -1: counted separately,
+        // hashed all the same so reordering still shows up.
+        ++per_node[static_cast<size_t>(node)];
+        lat.Add(st.deploy_ms[static_cast<size_t>(i)]);
+        ++deployed;
+      }
       placement_hash ^= static_cast<uint64_t>(node) +
                         static_cast<uint64_t>(i) * 31ull;
       placement_hash *= 1099511628211ull;  // FNV prime.
@@ -545,7 +664,7 @@ class Runner {
                           {"node", static_cast<double>(node)},
                           {"deploy_ms", st.deploy_ms[static_cast<size_t>(i)]}});
     }
-    result_.vms_created += w.vms;
+    result_.vms_created += deployed;
     int64_t jobs_started = 0;
     int64_t jobs_failed = 0;
     for (int n = 0; n < cspec.num_nodes; ++n) {
@@ -574,6 +693,46 @@ class Runner {
                       {"makespan_s", makespan_s},
                       {"vms", static_cast<double>(cl.total_vms())},
                       {"jobs_failed", static_cast<double>(jobs_failed)}});
+    if (injector.has_value()) {
+      PrintFaultLog(*injector);
+      lv::Samples recovery;
+      for (double ms : cl.recovery_ms()) {
+        recovery.Add(ms);
+      }
+      cluster::Cluster::Drift drift = cl.AdmissionDrift();
+      out_ << lv::StrFormat(
+          "node_failures=%lld vms_lost=%lld vms_recovered=%lld "
+          "vms_unrecovered=%lld deploys_failed=%lld\n",
+          (long long)cl.node_failures(), (long long)cl.vms_lost(),
+          (long long)cl.vms_recovered(), (long long)cl.vms_unrecovered(),
+          (long long)st.deploys_failed);
+      out_ << lv::StrFormat(
+          "recovery_ms: p50=%.2f p99=%.2f  deploy_retries=%lld "
+          "replacements=%lld\n",
+          recovery.empty() ? 0.0 : recovery.Quantile(0.5),
+          recovery.empty() ? 0.0 : recovery.Quantile(0.99),
+          (long long)cl.deploy_retries(), (long long)cl.deploy_replacements());
+      out_ << lv::StrFormat(
+          "invariant_failures=%lld drift_mem_bytes=%lld drift_vcpus=%lld\n",
+          (long long)cl.invariant_failures(), (long long)drift.memory.count(),
+          (long long)drift.vcpus);
+      for (int n = 0; n < cspec.num_nodes; ++n) {
+        PrintLeakCheck(cl.host(n), n);
+      }
+      Point("faults",
+            {{"injected", static_cast<double>(injector->injected())},
+             {"node_failures", static_cast<double>(cl.node_failures())},
+             {"vms_lost", static_cast<double>(cl.vms_lost())},
+             {"vms_recovered", static_cast<double>(cl.vms_recovered())},
+             {"vms_unrecovered", static_cast<double>(cl.vms_unrecovered())},
+             {"recovery_p50_ms", recovery.empty() ? 0.0 : recovery.Quantile(0.5)},
+             {"recovery_p99_ms", recovery.empty() ? 0.0 : recovery.Quantile(0.99)},
+             {"deploy_retries", static_cast<double>(cl.deploy_retries())},
+             {"replacements", static_cast<double>(cl.deploy_replacements())},
+             {"invariant_failures", static_cast<double>(cl.invariant_failures())},
+             {"drift_mem_bytes", static_cast<double>(drift.memory.count())},
+             {"drift_vcpus", static_cast<double>(drift.vcpus)}});
+    }
     return lv::Status::Ok();
   }
 

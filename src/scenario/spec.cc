@@ -217,6 +217,151 @@ lv::Result<GuestGroupConfig> ParseGuestGroup(int index, const Value& v) {
   return group;
 }
 
+lv::Result<faults::FaultEvent> ParseFaultEvent(int index, const Value& v) {
+  faults::FaultEvent ev;
+  const std::string context = lv::StrFormat("faults.events[%d]", index);
+  if (!v.is_object()) {
+    return Err(ErrorCode::kInvalidArgument, context + ": expected object");
+  }
+  bool saw_at = false;
+  bool saw_kind = false;
+  bool saw_duration = false;
+  bool saw_count = false;
+  bool saw_peer = false;
+  double at_ms = 0.0;
+  for (const Member& m : v.AsObject()) {
+    if (m.first == "at_ms") {
+      LV_SPEC_ASSIGN(at_ms, WantNumber(context, m));
+      saw_at = true;
+    } else if (m.first == "kind") {
+      std::string kind;
+      LV_SPEC_ASSIGN(kind, WantString(context, m));
+      if (!faults::FaultKindFromName(kind, &ev.kind)) {
+        return BadField(context, "kind", "unknown fault kind '" + kind + "'");
+      }
+      saw_kind = true;
+    } else if (m.first == "node") {
+      int64_t node = 0;
+      LV_SPEC_ASSIGN(node, WantInt(context, m));
+      ev.node = static_cast<int>(node);
+    } else if (m.first == "peer") {
+      int64_t peer = 0;
+      LV_SPEC_ASSIGN(peer, WantInt(context, m));
+      ev.peer = static_cast<int>(peer);
+      saw_peer = true;
+    } else if (m.first == "duration_ms") {
+      double duration_ms = 0.0;
+      LV_SPEC_ASSIGN(duration_ms, WantNumber(context, m));
+      ev.duration = lv::Duration::MillisF(duration_ms);
+      saw_duration = true;
+    } else if (m.first == "count") {
+      int64_t count = 0;
+      LV_SPEC_ASSIGN(count, WantInt(context, m));
+      ev.count = static_cast<int>(count);
+      saw_count = true;
+    } else {
+      return UnknownKey(context, m.first);
+    }
+  }
+  if (!saw_kind) {
+    return BadField(context, "kind", "required");
+  }
+  if (!saw_at || at_ms < 0.0) {
+    return BadField(context, "at_ms", "required, must be >= 0");
+  }
+  ev.at = lv::Duration::MillisF(at_ms);
+  if (ev.node < 0) {
+    return BadField(context, "node", "must be >= 0");
+  }
+  const bool wants_duration = ev.kind == faults::FaultKind::kXsRestart ||
+                              ev.kind == faults::FaultKind::kHotplugStall ||
+                              ev.kind == faults::FaultKind::kLinkPartition;
+  if (wants_duration && (!saw_duration || ev.duration.ns() <= 0)) {
+    return BadField(context, "duration_ms", "required, must be > 0 for this kind");
+  }
+  if (!wants_duration && saw_duration) {
+    return BadField(context, "duration_ms",
+                    "only applies to xenstore-restart, hotplug-stall and "
+                    "link-partition");
+  }
+  const bool wants_count = ev.kind == faults::FaultKind::kHotplugStall ||
+                           ev.kind == faults::FaultKind::kCreateFault;
+  if (saw_count && !wants_count) {
+    return BadField(context, "count",
+                    "only applies to hotplug-stall and create-fault");
+  }
+  if (ev.count < 1) {
+    return BadField(context, "count", "must be >= 1");
+  }
+  if (ev.kind == faults::FaultKind::kLinkPartition) {
+    if (!saw_peer) {
+      return BadField(context, "peer", "required for link-partition");
+    }
+    if (ev.peer < 0 || ev.peer == ev.node) {
+      return BadField(context, "peer", "must be >= 0 and differ from node");
+    }
+  } else if (saw_peer) {
+    return BadField(context, "peer", "only applies to link-partition");
+  }
+  return ev;
+}
+
+lv::Result<FaultsConfig> ParseFaults(const Value& v) {
+  FaultsConfig f;
+  const std::string context = "faults";
+  for (const Member& m : v.AsObject()) {
+    if (m.first == "events") {
+      if (!m.second.is_array()) {
+        return BadField(context, m.first, "expected array");
+      }
+      int index = 0;
+      for (const Value& item : m.second.AsArray()) {
+        auto ev = ParseFaultEvent(index++, item);
+        if (!ev.ok()) {
+          return ev.error();
+        }
+        f.plan.events.push_back(*ev);
+      }
+    } else if (m.first == "random") {
+      auto ok = WantObject(context, m);
+      if (!ok.ok()) {
+        return ok.error();
+      }
+      for (const Member& rm : m.second.AsObject()) {
+        if (rm.first == "events") {
+          int64_t events = 0;
+          LV_SPEC_ASSIGN(events, WantInt("faults.random", rm));
+          f.random_events = static_cast<int>(events);
+        } else if (rm.first == "horizon_ms") {
+          LV_SPEC_ASSIGN(f.random_horizon_ms, WantNumber("faults.random", rm));
+        } else if (rm.first == "seed") {
+          int64_t seed = 0;
+          LV_SPEC_ASSIGN(seed, WantInt("faults.random", rm));
+          if (seed < 0) {
+            return BadField("faults.random", "seed", "must be >= 0");
+          }
+          f.random_seed = static_cast<uint64_t>(seed);
+        } else {
+          return UnknownKey("faults.random", rm.first);
+        }
+      }
+      if (f.random_events <= 0) {
+        return BadField("faults.random", "events", "must be > 0");
+      }
+      if (f.random_horizon_ms <= 0.0) {
+        return BadField("faults.random", "horizon_ms", "must be > 0");
+      }
+    } else {
+      return UnknownKey(context, m.first);
+    }
+  }
+  if (f.plan.empty() && f.random_events == 0) {
+    return BadField(context, "events",
+                    "at least one explicit event or a random plan required");
+  }
+  return f;
+}
+
 lv::Result<WorkloadKind> ParseWorkloadKind(const std::string& kind) {
   if (kind == "sequential-boots") {
     return WorkloadKind::kSequentialBoots;
@@ -454,6 +599,16 @@ lv::Result<Spec> ParseSpec(std::string_view text) {
         return pool.error();
       }
       spec.shell_pool = *std::move(pool);
+    } else if (m.first == "faults") {
+      auto ok = WantObject(context, m);
+      if (!ok.ok()) {
+        return ok.error();
+      }
+      auto faults = ParseFaults(m.second);
+      if (!faults.ok()) {
+        return faults.error();
+      }
+      spec.faults = *std::move(faults);
     } else if (m.first == "workload") {
       auto ok = WantObject(context, m);
       if (!ok.ok()) {
@@ -506,6 +661,35 @@ lv::Result<Spec> ParseSpec(std::string_view text) {
   if (spec.workload.kind == WorkloadKind::kFleetDeploy &&
       spec.topology.nodes < 2) {
     return BadField("topology", "nodes", "fleet-deploy needs >= 2 nodes");
+  }
+  if (spec.faults.has_value()) {
+    if (spec.workload.kind == WorkloadKind::kSequentialBoots) {
+      return BadField(context, "faults",
+                      "applies to churn-storm and fleet-deploy workloads only");
+    }
+    if (spec.faults->random_events > 0 && spec.topology.nodes < 2) {
+      return BadField("faults", "random",
+                      "random plans need a cluster (>= 2 nodes)");
+    }
+    for (size_t i = 0; i < spec.faults->plan.events.size(); ++i) {
+      const faults::FaultEvent& ev = spec.faults->plan.events[i];
+      const std::string ev_context = lv::StrFormat("faults.events[%d]", (int)i);
+      if (ev.node >= spec.topology.nodes) {
+        return BadField(ev_context, "node", "out of range for the topology");
+      }
+      const bool cluster_kind = ev.kind == faults::FaultKind::kNodeCrash ||
+                                ev.kind == faults::FaultKind::kNodeReboot ||
+                                ev.kind == faults::FaultKind::kLinkPartition;
+      if (cluster_kind && spec.topology.nodes < 2) {
+        return BadField(ev_context, "kind",
+                        "needs a cluster (>= 2 nodes); a single node cannot "
+                        "survive losing itself");
+      }
+      if (ev.kind == faults::FaultKind::kLinkPartition &&
+          ev.peer >= spec.topology.nodes) {
+        return BadField(ev_context, "peer", "out of range for the topology");
+      }
+    }
   }
   return spec;
 }

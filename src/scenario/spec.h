@@ -28,6 +28,7 @@
 #include "src/base/units.h"
 #include "src/core/host.h"
 #include "src/core/mechanisms.h"
+#include "src/faults/plan.h"
 
 namespace scenario {
 
@@ -70,6 +71,16 @@ struct GuestGroupConfig {
   std::string name_prefix;   // VM naming: <prefix><i>; default "<series>-"
 };
 
+// Declarative fault injection (chaos runs): an explicit event list, a seeded
+// random plan, or both — merged and time-sorted before arming. Applies to
+// churn-storm (single node) and fleet-deploy (cluster) workloads.
+struct FaultsConfig {
+  faults::FaultPlan plan;         // explicit `events` entries
+  int random_events = 0;          // > 0: append FaultPlan::Random(...)
+  double random_horizon_ms = 0.0; // horizon of the random plan
+  uint64_t random_seed = 0;       // 0 = derive from the spec seed
+};
+
 // Workload kinds.
 enum class WorkloadKind {
   kSequentialBoots,  // boot group after group, measuring create/boot per VM
@@ -107,6 +118,7 @@ struct Spec {
   TopologyConfig topology;
   std::optional<ShellPoolConfig> shell_pool;
   WorkloadConfig workload;
+  std::optional<FaultsConfig> faults;
   int sample_points = 25;  // printed rows per series (full data in BENCH json)
 };
 

@@ -17,6 +17,17 @@ Engine::Engine(uint64_t seed) : rng_(seed) {
 }
 
 Engine::~Engine() {
+  // Reclaim detached frames still parked on the queue. Destroying a frame
+  // only unwinds its locals (awaiter destructors cancel their events; nothing
+  // resumes), but those destructors may themselves spawn or finish other
+  // detached tasks, so loop rather than iterate. Newest first, so a late
+  // frame referencing state owned by an earlier one unwinds before it.
+  while (!detached_frames_.empty()) {
+    auto it = std::prev(detached_frames_.end());
+    void* frame = it->second;
+    detached_frames_.erase(it);
+    std::coroutine_handle<>::from_address(frame).destroy();
+  }
   lv::Logger::Get().DetachClock();
   trace::Tracer::Get().DetachClock();
 }
@@ -37,8 +48,17 @@ void Engine::Spawn(Co<void> task) {
   auto h = task.Release();
   LV_CHECK_MSG(h != nullptr, "spawning an empty task");
   trace::Count("engine.tasks_spawned", 1);
-  h.promise().detached = true;
+  internal::Promise<void>& p = h.promise();
+  p.detached = true;
+  p.reap = &Engine::ReapDetached;
+  p.reap_ctx = this;
+  p.reap_id = next_detached_id_++;
+  detached_frames_.emplace(p.reap_id, h.address());
   h.resume();
+}
+
+void Engine::ReapDetached(void* ctx, uint64_t id) {
+  static_cast<Engine*>(ctx)->detached_frames_.erase(id);
 }
 
 std::unique_ptr<Engine::Event> Engine::PopNext() {

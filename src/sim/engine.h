@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <queue>
 #include <vector>
@@ -102,11 +103,20 @@ class Engine {
   // Pops the next non-cancelled event, or nullptr.
   std::unique_ptr<Event> PopNext();
 
+  // Deregisters a detached frame that reached its final suspend (see
+  // PromiseBase::reap).
+  static void ReapDetached(void* ctx, uint64_t id);
+
   TimePoint now_;
   uint64_t next_seq_ = 0;
   uint64_t processed_ = 0;
   std::priority_queue<std::unique_ptr<Event>, std::vector<std::unique_ptr<Event>>, Later> queue_;
   lv::Rng rng_;
+  // Live detached frames by spawn order: a frame still parked on the queue
+  // when the engine dies is unreachable any other way, so ~Engine destroys
+  // the survivors (newest first).
+  std::map<uint64_t, void*> detached_frames_;
+  uint64_t next_detached_id_ = 0;
 };
 
 }  // namespace sim

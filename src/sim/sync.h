@@ -112,13 +112,24 @@ class Channel {
   size_t size() const { return queue_.size(); }
   bool empty() const { return queue_.empty(); }
 
+  // Non-blocking receive of an already-queued value (never steals from a
+  // parked receiver).
+  std::optional<T> TryRecv() {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
   void Send(T value) {
     if (!receivers_.empty()) {
       Awaiter* rx = receivers_.front();
       receivers_.pop_front();
       rx->slot = std::move(value);
       std::coroutine_handle<> h = rx->handle;
-      engine_->Schedule(Duration(), [h] { h.resume(); });
+      rx->wakeup = engine_->Schedule(Duration(), [h] { h.resume(); });
     } else {
       queue_.push_back(std::move(value));
     }
@@ -128,6 +139,25 @@ class Channel {
     Channel* ch;
     std::optional<T> slot;
     std::coroutine_handle<> handle;
+    // Handle of the wake-up Send() scheduled for this awaiter, so a frame
+    // destroyed while its wake-up is still in flight can cancel it instead of
+    // letting the engine resume a dead coroutine.
+    EventHandle wakeup;
+
+    ~Awaiter() {
+      if (!handle) {
+        return;  // Never suspended; nothing registered.
+      }
+      // Destroying a suspended receiver: deregister so a later Send() cannot
+      // hand a value to a dead frame, and cancel any in-flight wake-up.
+      for (auto it = ch->receivers_.begin(); it != ch->receivers_.end(); ++it) {
+        if (*it == this) {
+          ch->receivers_.erase(it);
+          break;
+        }
+      }
+      wakeup.Cancel();
+    }
 
     bool await_ready() noexcept {
       if (!ch->queue_.empty()) {
@@ -146,7 +176,7 @@ class Channel {
       return std::move(*slot);
     }
   };
-  Awaiter Recv() { return Awaiter{this, std::nullopt, nullptr}; }
+  Awaiter Recv() { return Awaiter{this, std::nullopt, nullptr, {}}; }
 
  private:
   Engine* engine_;
@@ -159,6 +189,8 @@ class Channel {
 template <typename T>
 class SharedFuture {
  public:
+  struct Awaiter;
+
   explicit SharedFuture(Engine* engine) : state_(std::make_shared<State>()) {
     state_->engine = engine;
   }
@@ -172,29 +204,52 @@ class SharedFuture {
   void Set(T value) {
     LV_CHECK_MSG(!state_->value.has_value(), "SharedFuture set twice");
     state_->value = std::move(value);
-    for (std::coroutine_handle<> h : state_->waiters) {
-      state_->engine->Schedule(Duration(), [h] { h.resume(); });
+    for (Awaiter* a : state_->waiters) {
+      std::coroutine_handle<> h = a->handle;
+      a->wakeup = state_->engine->Schedule(Duration(), [h] { h.resume(); });
     }
     state_->waiters.clear();
   }
 
-  struct Awaiter {
-    std::shared_ptr<typename SharedFuture::State> state;
-    bool await_ready() const noexcept { return state->value.has_value(); }
-    void await_suspend(std::coroutine_handle<> h) { state->waiters.push_back(h); }
-    T await_resume() { return *state->value; }
-  };
-  Awaiter Get() { return Awaiter{state_}; }
-
- private:
   struct State {
     Engine* engine = nullptr;
     std::optional<T> value;
-    std::vector<std::coroutine_handle<>> waiters;
+    std::vector<Awaiter*> waiters;
   };
-  std::shared_ptr<State> state_;
 
-  friend struct Awaiter;
+  struct Awaiter {
+    std::shared_ptr<State> state;
+    std::coroutine_handle<> handle;
+    EventHandle wakeup;
+
+    ~Awaiter() {
+      if (!handle) {
+        return;  // Never suspended; nothing registered.
+      }
+      // Same contract as Channel::Awaiter: a destroyed waiter deregisters
+      // itself and cancels any in-flight wake-up so the engine never resumes
+      // a dead frame.
+      auto& w = state->waiters;
+      for (auto it = w.begin(); it != w.end(); ++it) {
+        if (*it == this) {
+          w.erase(it);
+          break;
+        }
+      }
+      wakeup.Cancel();
+    }
+
+    bool await_ready() const noexcept { return state->value.has_value(); }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      state->waiters.push_back(this);
+    }
+    T await_resume() { return *state->value; }
+  };
+  Awaiter Get() { return Awaiter{state_, nullptr, {}}; }
+
+ private:
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace sim

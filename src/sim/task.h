@@ -26,6 +26,14 @@ struct PromiseBase {
   std::coroutine_handle<> continuation = std::noop_coroutine();
   bool detached = false;
   std::exception_ptr exception;
+  // Set by Engine::Spawn: lets the engine track live detached frames so the
+  // ones still parked at engine teardown can be reclaimed (a detached frame
+  // has no owner, so nobody else can destroy it). Called from FinalAwaiter
+  // right before the frame destroys itself. A function pointer rather than
+  // an Engine method keeps task.h free of the engine header.
+  void (*reap)(void* ctx, uint64_t id) = nullptr;
+  void* reap_ctx = nullptr;
+  uint64_t reap_id = 0;
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -38,6 +46,9 @@ struct PromiseBase {
       if (p.detached) {
         // A detached task has nobody to observe an exception.
         LV_CHECK_MSG(!p.exception, "unhandled exception in detached sim task");
+        if (p.reap != nullptr) {
+          p.reap(p.reap_ctx, p.reap_id);
+        }
         h.destroy();
       }
       return cont;

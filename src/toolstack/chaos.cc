@@ -150,6 +150,13 @@ sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::Create(sim::ExecCtx ctx, VmCon
     ctx = ctx.OnTrack(tracer.NewTrack(row));
   }
   trace::Span create_span(ctx.track, "vm.create");
+  // Fault checkpoint (entry): injected transient faults and node death are
+  // taken before any state is built, so there is nothing to roll back.
+  if (env_.faults != nullptr && env_.faults->ShouldFailCreate()) {
+    co_return lv::Err(lv::ErrorCode::kUnavailable,
+                      env_.faults->node_crashed ? "node crashed"
+                                                : "injected transient create fault");
+  }
   lv::TimePoint create_start = env_.engine->now();
   lv::TimePoint t0 = create_start;
   trace::Span phase(ctx.track, "create.config");
@@ -172,10 +179,29 @@ sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::Create(sim::ExecCtx ctx, VmCon
     breakdown_ = bd;
     co_return shell.error();
   }
+  // Fault checkpoint (post-shell): a node that died while the shell was being
+  // prepared aborts here, rolling the domain back through the same path a
+  // failed device phase takes.
+  if (env_.faults != nullptr && env_.faults->node_crashed) {
+    // A pooled shell arrives with its devices pre-attached (that is the
+    // point of the split toolstack), so the rollback must close them too.
+    (void)co_await DestroyDevices(ctx, shell->domid, config);
+    (void)co_await env_.hv->DomainDestroy(ctx, shell->domid);
+    breakdown_ = bd;
+    co_return lv::Err(lv::ErrorCode::kUnavailable, "node crashed during create");
+  }
 
   lv::Status exec = co_await ExecutePhase(ctx, *shell, config, config.image.kernel_size,
                                           /*is_restore=*/false, bd);
+  if (exec.ok() && env_.faults != nullptr && env_.faults->node_crashed) {
+    // Fault checkpoint (pre-boot): abort before the guest exists.
+    exec = lv::Err(lv::ErrorCode::kUnavailable, "node crashed during create");
+  }
   if (!exec.ok()) {
+    // ExecutePhase may have attached devices (event channels, backend state)
+    // before the abort; tear them down like a regular destroy would, or the
+    // leak invariant trips on the next sweep.
+    (void)co_await DestroyDevices(ctx, shell->domid, config);
     (void)co_await env_.hv->DomainDestroy(ctx, shell->domid);
     breakdown_ = bd;
     co_return exec.error();

@@ -7,6 +7,7 @@
 #include "src/devices/backend.h"
 #include "src/devices/hotplug.h"
 #include "src/devices/sysctl.h"
+#include "src/faults/hooks.h"
 #include "src/hv/hypervisor.h"
 #include "src/net/switch.h"
 #include "src/sim/cpu.h"
@@ -32,6 +33,9 @@ struct HostEnv {
   // §9 extension: share read-only pages between VMs of the same flavor.
   bool page_sharing = false;
   double page_sharing_fraction = 0.75;
+  // Fault-injection hook state (owned by the Host; null only in stripped-down
+  // test fixtures). Toolstack checkpoints consult it on every create.
+  faults::FaultHooks* faults = nullptr;
 };
 
 }  // namespace toolstack

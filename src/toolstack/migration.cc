@@ -13,6 +13,11 @@ sim::Co<lv::Result<hv::DomainId>> Migrate(Toolstack* local, sim::ExecCtx local_c
     co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");
   }
   VmConfig config = *config_ptr;
+  if (link->partitioned()) {
+    // Fail before any remote state exists: a partitioned fabric refuses the
+    // connection, so there is nothing to roll back on either side.
+    co_return lv::Err(lv::ErrorCode::kUnavailable, "migration fabric partitioned");
+  }
   lv::TimePoint migrate_start = local->env().engine->now();
 
   // Open the TCP connection to the remote migration daemon and stream the

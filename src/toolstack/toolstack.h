@@ -9,9 +9,11 @@
 //    (pre-created domain shells from the chaos daemon).
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/base/result.h"
 #include "src/guests/guest.h"
@@ -87,6 +89,16 @@ class Toolstack {
     return it == vms_.end() ? nullptr : &it->second.config;
   }
   int64_t num_vms() const { return static_cast<int64_t>(vms_.size()); }
+  // All tracked domains, sorted (deterministic teardown/evacuation order).
+  std::vector<hv::DomainId> TrackedDomains() const {
+    std::vector<hv::DomainId> ids;
+    ids.reserve(vms_.size());
+    for (const auto& [domid, record] : vms_) {
+      ids.push_back(domid);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
   HostEnv& env() { return env_; }
 
  protected:

@@ -109,6 +109,13 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
     ctx = ctx.OnTrack(tracer.NewTrack(row));
   }
   trace::Span create_span(ctx.track, "vm.create");
+  // Fault checkpoint (entry): same contract as the chaos toolstack — injected
+  // faults abort before any state exists.
+  if (env_.faults != nullptr && env_.faults->ShouldFailCreate()) {
+    co_return lv::Err(lv::ErrorCode::kUnavailable,
+                      env_.faults->node_crashed ? "node crashed"
+                                                : "injected transient create fault");
+  }
   lv::TimePoint create_start = env_.engine->now();
   lv::TimePoint t0 = create_start;
 

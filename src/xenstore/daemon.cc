@@ -41,6 +41,8 @@ const char* ClientSpanName(OpType op) {
       return "xs.write_unique_name";
     case OpType::kReleaseClient:
       return "xs.release_client";
+    case OpType::kRestart:
+      return "xs.restart";
     case OpType::kStop:
       return "xs.stop";
   }
@@ -73,6 +75,8 @@ const char* DaemonSpanName(OpType op) {
       return "xsd.write_unique_name";
     case OpType::kReleaseClient:
       return "xsd.release_client";
+    case OpType::kRestart:
+      return "xsd.restart";
     case OpType::kStop:
       return "xsd.stop";
   }
@@ -132,6 +136,7 @@ metrics::Counter& OpCounter(OpType op) {
       static metrics::Counter& c = metrics::GetCounter("xenstore.daemon.ops.release_client");
       return c;
     }
+    case OpType::kRestart:
     case OpType::kStop:
       break;
   }
@@ -144,19 +149,56 @@ metrics::Counter& OpCounter(OpType op) {
 Daemon::Daemon(sim::Engine* engine, Costs costs)
     : engine_(engine), costs_(costs), queue_(engine) {}
 
+Daemon::~Daemon() { Stop(); }
+
 void Daemon::Start(sim::ExecCtx daemon_ctx) {
   LV_CHECK_MSG(!running_, "daemon already running");
   running_ = true;
   // The daemon gets its own trace row: all request processing is serialized
-  // through this one coroutine, so its spans nest trivially.
+  // through this one coroutine, so its spans nest trivially. The frame is
+  // owner-held (not detached) so Stop() can drain it deterministically.
   daemon_ctx = daemon_ctx.OnTrack(trace::Tracer::Get().NewTrack("xenstored"));
-  engine_->Spawn(Run(daemon_ctx));
+  loop_ = Run(daemon_ctx);
+  loop_.Start();
 }
 
 void Daemon::Stop() {
+  if (!running_) {
+    return;
+  }
   Request req;
   req.op = OpType::kStop;
   Submit(std::move(req));
+  // Drain: step the engine until the loop frame completes, so no queued
+  // event still references it. Resuming the frame after this daemon dies
+  // would touch freed members (the write-after-free ROADMAP item 6 names).
+  // Bounded: the kStop just submitted leads the loop straight out once any
+  // in-flight request finishes.
+  while (!loop_.done() && engine_->Step()) {
+  }
+}
+
+void Daemon::InjectRestart(lv::Duration downtime) {
+  if (!running_) {
+    return;
+  }
+  Request req;
+  req.op = OpType::kRestart;
+  req.downtime = downtime;
+  Submit(std::move(req));
+}
+
+void Daemon::Submit(Request req) {
+  if (!running_) {
+    if (req.reply != nullptr) {
+      Response resp;
+      resp.code = lv::ErrorCode::kUnavailable;
+      resp.error_message = "xenstored not running";
+      req.reply->Set(std::move(resp));
+    }
+    return;
+  }
+  queue_.Send(std::move(req));
 }
 
 ClientId Daemon::RegisterClient(hv::DomainId domid, sim::Channel<WatchEvent>* events) {
@@ -177,9 +219,56 @@ sim::Co<void> Daemon::Run(sim::ExecCtx ctx) {
     if (req.op == OpType::kStop) {
       break;
     }
+    if (req.op == OpType::kRestart) {
+      co_await Restart(ctx, std::move(req));
+      continue;
+    }
     co_await Process(ctx, std::move(req));
   }
   running_ = false;
+}
+
+sim::Co<void> Daemon::Restart(sim::ExecCtx ctx, Request req) {
+  ++stats_.restarts;
+  static metrics::Counter& restarts = metrics::GetCounter("xenstore.daemon.restarts");
+  restarts.Inc();
+  trace::Span span(ctx.track, "xsd.restart");
+  LV_DEBUG(kMod, "restarting (down %lld ns)", (long long)req.downtime.ns());
+  // The dying daemon drops its ring: every queued request fails like a
+  // connection reset. A queued kStop survives the restart; back-to-back
+  // restarts coalesce.
+  bool stop_pending = false;
+  while (std::optional<Request> pending = queue_.TryRecv()) {
+    if (pending->op == OpType::kStop) {
+      stop_pending = true;
+      continue;
+    }
+    if (pending->op == OpType::kRestart) {
+      continue;
+    }
+    if (pending->reply != nullptr) {
+      Response resp;
+      resp.code = lv::ErrorCode::kUnavailable;
+      resp.error_message = "xenstored restarting";
+      pending->reply->Set(std::move(resp));
+    }
+  }
+  co_await engine_->Sleep(req.downtime);
+  // Watch replay: on reconnect each registration fires once, so watch-driven
+  // state machines re-evaluate instead of waiting for a write they missed.
+  std::vector<WatchHit> hits = store_.ReplayWatches();
+  if (!hits.empty()) {
+    co_await ctx.Work(costs_.per_watch_fire * static_cast<double>(hits.size()));
+    DeliverWatchHits(hits);
+  }
+  if (stop_pending) {
+    Request stop;
+    stop.op = OpType::kStop;
+    Submit(std::move(stop));
+  }
+  if (req.reply != nullptr) {
+    req.reply->Set(Response{});
+  }
 }
 
 sim::Co<void> Daemon::ChargeEffort(sim::ExecCtx ctx) {
@@ -336,8 +425,9 @@ sim::Co<void> Daemon::Process(sim::ExecCtx ctx, Request req) {
       co_await ChargeEffort(ctx);
       break;
     }
+    case OpType::kRestart:
     case OpType::kStop:
-      LV_UNREACHABLE();
+      LV_UNREACHABLE();  // Handled in Run(), never dispatched here.
   }
 
   // Deliver fired watches (one message + interrupt per event).

@@ -33,6 +33,7 @@ enum class OpType {
   kTxAbort,
   kWriteUniqueName,  // write /local/domain/<id>/name with O(n) admission scan
   kReleaseClient,    // drop a client's watches (domain death)
+  kRestart,          // fault injection: daemon dies and comes back after a downtime
   kStop,             // shuts the daemon down (testing/teardown)
 };
 
@@ -53,6 +54,7 @@ struct Request {
   std::string value;
   std::string token;
   TxnId txn = kNoTxn;
+  lv::Duration downtime{};  // kRestart only: how long the daemon stays down
   std::shared_ptr<sim::SharedFuture<Response>> reply;
 };
 
@@ -70,23 +72,34 @@ class Daemon {
     int64_t conflicts = 0;
     int64_t rotations = 0;
     int64_t watch_events = 0;
+    int64_t restarts = 0;
   };
 
   Daemon(sim::Engine* engine, Costs costs = Costs());
+  ~Daemon();
 
   // Starts the daemon loop on the given Dom0 execution context.
   void Start(sim::ExecCtx daemon_ctx);
-  // Posts a stop request; the loop drains and exits.
+  // Posts a stop request and drains the engine until the loop frame has
+  // completed, so no queued event still references it.
   void Stop();
   bool running() const { return running_; }
+
+  // Fault injection: the daemon "crashes" and comes back `downtime` later.
+  // Requests queued behind the restart fail with kUnavailable; on recovery
+  // every registered watch re-fires once (watch replay), exactly like a real
+  // xenstored restart where clients re-see their watch registrations.
+  void InjectRestart(lv::Duration downtime);
 
   // Registers a client; fired watches are pushed into `events` (owned by the
   // client, must outlive the registration).
   ClientId RegisterClient(hv::DomainId domid, sim::Channel<WatchEvent>* events);
   void UnregisterClient(ClientId id);
 
-  // Enqueues a request (the client-side library is XsClient below).
-  void Submit(Request req) { queue_.Send(std::move(req)); }
+  // Enqueues a request (the client-side library is XsClient below). When the
+  // daemon is not running the request fails immediately with kUnavailable so
+  // callers error out instead of parking forever on a dead ring.
+  void Submit(Request req);
 
   Store& store() { return store_; }
   const Stats& stats() const { return stats_; }
@@ -98,6 +111,9 @@ class Daemon {
  private:
   sim::Co<void> Run(sim::ExecCtx ctx);
   sim::Co<void> Process(sim::ExecCtx ctx, Request req);
+  // Handles a kRestart request inside the daemon loop: fails queued requests,
+  // sleeps the downtime, then replays every registered watch.
+  sim::Co<void> Restart(sim::ExecCtx ctx, Request req);
   // Charges the daemon-side cost derived from the store's effort counters.
   sim::Co<void> ChargeEffort(sim::ExecCtx ctx);
   sim::Co<void> AppendAccessLog(sim::ExecCtx ctx);
@@ -112,6 +128,9 @@ class Daemon {
   int64_t log_lines_ = 0;
   bool running_ = false;
   Stats stats_;
+  // Owner-held loop frame (own-and-drain teardown, see Stop()). Declared last
+  // so the frame dies before any member it references.
+  sim::Co<void> loop_;
 };
 
 // Client-side library handle (libxs / xenbus). One per consumer; methods are

@@ -258,6 +258,17 @@ void Store::RemoveClientWatches(ClientId client) {
                  watches_.end());
 }
 
+std::vector<WatchHit> Store::ReplayWatches() {
+  effort_.Reset();
+  std::vector<WatchHit> hits;
+  hits.reserve(watches_.size());
+  for (const Watch& w : watches_) {
+    ++effort_.watch_checks;
+    hits.push_back(WatchHit{w.client, w.path, w.token, w.path});
+  }
+  return hits;
+}
+
 lv::Status Store::CheckUniqueName(const std::string& name) {
   effort_.Reset();
   Node* domains = Walk("local/domain", /*create=*/false, hv::kDom0);

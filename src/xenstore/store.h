@@ -100,6 +100,11 @@ class Store {
   void RemoveClientWatches(ClientId client);
   int64_t num_watches() const { return static_cast<int64_t>(watches_.size()); }
 
+  // Synthesizes one hit per registration (fired_path == watch path), in
+  // registration order — the replay a restarted xenstored sends so clients
+  // re-evaluate watch-driven state machines. Charges one watch check each.
+  std::vector<WatchHit> ReplayWatches();
+
   // --- Domain-name uniqueness (paper §4.2) -----------------------------------
   // Scans every registered guest name under /local/domain/*/name and compares
   // against `name`; O(#domains). Returns ALREADY_EXISTS on duplicate.

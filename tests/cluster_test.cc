@@ -6,6 +6,8 @@
 
 #include "src/base/strings.h"
 #include "src/cluster/cluster.h"
+#include "src/core/verify.h"
+#include "src/faults/injector.h"
 #include "src/sim/run.h"
 
 namespace cluster {
@@ -275,6 +277,216 @@ TEST_F(ClusterTest, SameSeedRunsAreIdentical) {
   auto [nodes_b, ns_b] = run_once(7);
   EXPECT_EQ(nodes_a, nodes_b);
   EXPECT_EQ(ns_a, ns_b);
+}
+
+// --- Self-healing under fault injection -------------------------------------
+
+// Everything one chaos run produces that determinism and invariants are
+// asserted over.
+struct ChaosOutcome {
+  std::vector<int> placements;  // node per fleet VM, -1 = deploy failed
+  std::string fault_log;
+  std::vector<double> recovery_ms;
+  int64_t ok_deploys = 0;
+  int64_t node_failures = 0;
+  int64_t vms_lost = 0;
+  int64_t vms_recovered = 0;
+  int64_t vms_unrecovered = 0;
+  int64_t invariant_failures = 0;
+  int64_t total_vms = 0;
+  int64_t drift_mem = 0;
+  int64_t drift_vcpus = 0;
+  int64_t end_ns = 0;
+};
+
+// Runs a fleet deploy over a small cluster with the health monitor on and a
+// seeded random fault plan armed, then drives the engine until the plan has
+// fully fired, every crashed node is written off, and the evacuation queue
+// has drained.
+ChaosOutcome RunChaos(uint64_t seed, int nodes, int vms, int events) {
+  sim::Engine engine(seed);
+  ClusterSpec spec;
+  spec.num_nodes = nodes;
+  spec.node = lightvm::HostSpec::Xeon4Core();
+  spec.mechanisms = lightvm::Mechanisms::LightVm();
+  Cluster cl(&engine, spec, std::make_unique<LeastLoaded>());
+  for (int n = 0; n < nodes; ++n) {
+    cl.host(n).AddShellFlavor(guests::DaytimeUnikernel().memory, true, 4);
+    cl.host(n).PrefillShellPool();
+  }
+  cl.StartHealthMonitor();
+
+  faults::FaultPlan plan =
+      faults::FaultPlan::Random(seed, nodes, events, Duration::Millis(150));
+  faults::FaultTargets targets;
+  targets.crash_node = [&](int node) { cl.CrashNode(node); };
+  targets.reboot_node = [&](int node) { cl.RequestReboot(node); };
+  targets.restart_xenstore = [&](int node, Duration downtime) {
+    if (cl.host(node).store() != nullptr) {
+      cl.host(node).store()->InjectRestart(downtime);
+    }
+  };
+  targets.stall_hotplug = [&](int node, Duration stall, int count) {
+    cl.host(node).fault_hooks().hotplug_stall = stall;
+    cl.host(node).fault_hooks().stall_next_hotplugs += count;
+  };
+  targets.partition_link = [&](int a, int b, Duration length) {
+    cl.link(a, b)->Partition(length);
+  };
+  targets.fail_creates = [&](int node, int count) {
+    cl.host(node).fault_hooks().fail_next_creates += count;
+  };
+  faults::FaultInjector injector(&engine, std::move(plan), std::move(targets));
+  injector.Arm();
+
+  ChaosOutcome out;
+  out.placements.assign(static_cast<size_t>(vms), -1);
+  int next = 0;
+  int done = 0;
+  auto worker = [&]() -> sim::Co<void> {
+    while (next < vms) {
+      int i = next++;
+      auto h = co_await cl.Deploy(DaytimeConfig(lv::StrFormat("vm%d", i)), true);
+      if (h.ok()) {
+        out.placements[static_cast<size_t>(i)] = h->node;
+      }
+      ++done;
+    }
+  };
+  for (int w = 0; w < 4; ++w) {
+    engine.Spawn(worker());
+  }
+  LV_CHECK(sim::RunUntilCondition(engine, [&] { return done >= vms; },
+                                  Duration::Seconds(7200)));
+  // Quiesce: all faults fired, every crash detected (written off) AND
+  // settled (the settle pass destroys the dead node's VMs over simulated
+  // time, so counting live VMs before it finishes would see both the
+  // originals and their replacements), every evacuation either recovered or
+  // given up.
+  auto quiet = [&] {
+    if (injector.injected() != static_cast<int64_t>(injector.plan().size())) {
+      return false;
+    }
+    for (int n = 0; n < nodes; ++n) {
+      const lightvm::Host& h = cl.host(n);
+      if (h.crashed() && (cl.node_alive(n) || !h.crash_settled())) {
+        return false;  // dead but not yet detected, or still tearing down
+      }
+    }
+    return cl.vms_lost() == cl.vms_recovered() + cl.vms_unrecovered();
+  };
+  LV_CHECK(sim::RunUntilCondition(engine, quiet, Duration::Seconds(7200)));
+
+  for (int n : out.placements) {
+    if (n >= 0) {
+      ++out.ok_deploys;
+    }
+  }
+  out.fault_log = injector.plan().ToString();
+  out.recovery_ms = cl.recovery_ms();
+  out.node_failures = cl.node_failures();
+  out.vms_lost = cl.vms_lost();
+  out.vms_recovered = cl.vms_recovered();
+  out.vms_unrecovered = cl.vms_unrecovered();
+  out.invariant_failures = cl.invariant_failures();
+  out.total_vms = cl.total_vms();
+  Cluster::Drift drift = cl.AdmissionDrift();
+  out.drift_mem = drift.memory.count();
+  out.drift_vcpus = drift.vcpus;
+  out.end_ns = engine.now().ns();
+
+  // Per-node leak invariants hold at quiescence whatever the plan did.
+  for (int n = 0; n < nodes; ++n) {
+    lv::Status ok = lightvm::VerifyNoLeakedResources(cl.host(n));
+    EXPECT_TRUE(ok.ok()) << "seed " << seed << " node " << n << ": "
+                         << ok.error().message << "\nplan:\n" << out.fault_log;
+  }
+  return out;
+}
+
+// Property sweep: whatever a random fault plan throws at the cluster, the
+// control plane reconverges — every lost VM is either recovered or reported
+// unrecovered, the admission ledger shows zero drift, the per-sweep
+// invariant checks never fired, and the live VM count matches the books.
+TEST_F(ClusterTest, RandomFaultPlansConvergeWithExactAccounting) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    ChaosOutcome out = RunChaos(seed, /*nodes=*/3, /*vms=*/30, /*events=*/6);
+    EXPECT_EQ(out.invariant_failures, 0) << "seed " << seed << "\n" << out.fault_log;
+    EXPECT_EQ(out.drift_mem, 0) << "seed " << seed;
+    EXPECT_EQ(out.drift_vcpus, 0) << "seed " << seed;
+    EXPECT_EQ(out.vms_lost, out.vms_recovered + out.vms_unrecovered)
+        << "seed " << seed;
+    EXPECT_EQ(out.total_vms, out.ok_deploys - out.vms_unrecovered)
+        << "seed " << seed << "\n" << out.fault_log;
+    EXPECT_GT(out.ok_deploys, 0) << "seed " << seed;
+  }
+}
+
+// Same seed + same plan → byte-identical everything: fault log, placements,
+// recovery latencies, final virtual time.
+TEST_F(ClusterTest, ChaosRunsAreByteIdenticalAcrossRuns) {
+  ChaosOutcome a = RunChaos(7, 3, 30, 8);
+  ChaosOutcome b = RunChaos(7, 3, 30, 8);
+  EXPECT_EQ(a.fault_log, b.fault_log);
+  EXPECT_EQ(a.placements, b.placements);
+  EXPECT_EQ(a.recovery_ms, b.recovery_ms);
+  EXPECT_EQ(a.node_failures, b.node_failures);
+  EXPECT_EQ(a.vms_lost, b.vms_lost);
+  EXPECT_EQ(a.vms_recovered, b.vms_recovered);
+  EXPECT_EQ(a.end_ns, b.end_ns);
+}
+
+// A node dying between placement and create completion: Deploy releases the
+// reservation and re-places once on the survivors.
+TEST_F(ClusterTest, DeployReplacesNodeThatDiesMidCreate) {
+  Cluster cl(&engine_, SmallSpec(2), std::make_unique<LeastLoaded>());
+  Prefill(cl);
+  cl.StartHealthMonitor();
+
+  // Crash node 0 (the tie-break pick for the first deploy) while its create
+  // job is in flight.
+  engine_.Schedule(Duration::Micros(200), [&] { cl.CrashNode(0); });
+  auto h = Run(cl.Deploy(DaytimeConfig("replaced"), true));
+  ASSERT_TRUE(h.ok()) << h.error().message;
+  EXPECT_EQ(h->node, 1);
+  EXPECT_EQ(cl.deploy_replacements(), 1);
+  EXPECT_EQ(cl.host(1).num_vms(), 1);
+
+  Cluster::Drift drift = cl.AdmissionDrift();
+  EXPECT_EQ(drift.memory.count(), 0);
+  EXPECT_EQ(drift.vcpus, 0);
+  // Nothing was ever placed on node 0, so the write-off evacuates nothing.
+  ASSERT_TRUE(sim::RunUntilCondition(engine_, [&] { return !cl.node_alive(0); },
+                                     Duration::Seconds(60)));
+  EXPECT_EQ(cl.vms_lost(), 0);
+}
+
+// The double failure: the re-placed attempt ALSO loses its node. Deploy must
+// fail with a typed error, leaking no reservation on either node.
+TEST_F(ClusterTest, DeployFailsTypedWhenReplacementNodeAlsoDies) {
+  Cluster cl(&engine_, SmallSpec(2), std::make_unique<LeastLoaded>());
+  Prefill(cl);
+  cl.StartHealthMonitor();
+
+  engine_.Schedule(Duration::Micros(200), [&] { cl.CrashNode(0); });
+  // Crash node 1 as soon as the re-placed create reaches it.
+  auto second_killer = [&]() -> sim::Co<void> {
+    while (cl.host(1).node().jobs_active() == 0) {
+      co_await engine_.Sleep(Duration::Micros(50));
+    }
+    cl.CrashNode(1);
+  };
+  engine_.Spawn(second_killer());
+
+  auto h = Run(cl.Deploy(DaytimeConfig("doomed"), true));
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.error().code, lv::ErrorCode::kUnavailable);
+  EXPECT_EQ(h.error().message, "target node died during deploy");
+  EXPECT_EQ(cl.deploy_replacements(), 1);
+  EXPECT_EQ(cl.deploy_failures(), 1);
+  Cluster::Drift drift = cl.AdmissionDrift();
+  EXPECT_EQ(drift.memory.count(), 0);
+  EXPECT_EQ(drift.vcpus, 0);
 }
 
 }  // namespace

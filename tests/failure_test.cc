@@ -5,6 +5,8 @@
 
 #include "src/base/strings.h"
 #include "src/core/host.h"
+#include "src/core/verify.h"
+#include "src/faults/injector.h"
 #include "src/sim/run.h"
 
 namespace lightvm {
@@ -109,6 +111,95 @@ TEST_P(FailureTest, ResourcesReturnToBaselineAfterChurn) {
   EXPECT_EQ(host.hv().event_channels().open_channels(), channels);
   EXPECT_EQ(host.hv().grant_table().active_grants(), grants);
   EXPECT_EQ(host.num_vms(), 0);
+  // The reusable invariant checker must agree with the manual comparison.
+  lv::Status verified = VerifyNoLeakedResources(host);
+  EXPECT_TRUE(verified.ok()) << verified.error().message;
+}
+
+// Property sweep: seeded random fault plans of transient faults (injected
+// create failures, hotplug stalls, xenstored restarts) against a churn
+// workload. Whatever interleaving the plan produces, every failed create
+// must roll back completely — the host returns to its resource baseline.
+TEST_P(FailureTest, RandomTransientFaultPlansRollBackCleanly) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::Engine engine(seed);
+    Host host(&engine, HostSpec::Xeon4Core(), GetParam());
+
+    faults::FaultPlan plan =
+        faults::FaultPlan::Random(seed, /*nodes=*/1, /*num_events=*/6,
+                                  Duration::Millis(50));
+    faults::FaultTargets targets;
+    // Crash / reboot / partition sinks stay unbound: a single host has no
+    // cluster to heal it, so this sweep drives only the transient kinds.
+    targets.restart_xenstore = [&](int, Duration downtime) {
+      if (host.store() != nullptr) {
+        host.store()->InjectRestart(downtime);
+      }
+    };
+    targets.stall_hotplug = [&](int, Duration stall, int count) {
+      host.fault_hooks().hotplug_stall = stall;
+      host.fault_hooks().stall_next_hotplugs += count;
+    };
+    targets.fail_creates = [&](int, int count) {
+      host.fault_hooks().fail_next_creates += count;
+    };
+    faults::FaultInjector injector(&engine, std::move(plan), std::move(targets));
+    injector.Arm();
+
+    int created = 0;
+    int failed = 0;
+    std::vector<hv::DomainId> live;
+    for (int op = 0; op < 24; ++op) {
+      auto domid = sim::RunToCompletion(
+          engine, host.CreateAndBoot(Daytime(lv::StrFormat("s%llu-%d",
+                                                           (unsigned long long)seed, op))));
+      if (domid.ok()) {
+        ++created;
+        live.push_back(*domid);
+      } else {
+        ++failed;
+        EXPECT_EQ(domid.error().code, lv::ErrorCode::kUnavailable)
+            << domid.error().message;
+      }
+      if (live.size() >= 6) {
+        ASSERT_TRUE(sim::RunToCompletion(engine, host.DestroyVm(live.front())).ok());
+        live.erase(live.begin());
+      }
+    }
+    for (hv::DomainId id : live) {
+      ASSERT_TRUE(sim::RunToCompletion(engine, host.DestroyVm(id)).ok());
+    }
+    EXPECT_GT(created, 0) << "seed " << seed;
+    lv::Status verified = VerifyNoLeakedResources(host);
+    EXPECT_TRUE(verified.ok())
+        << "seed " << seed << ": " << verified.error().message
+        << " (plan:\n" << injector.plan().ToString() << ")";
+  }
+}
+
+// A node crash destroys every VM through the settle pass; after Reboot the
+// host is back at its resource baseline and can create again.
+TEST_P(FailureTest, CrashSettleRebootRestoresBaseline) {
+  Host host(&engine_, HostSpec::Xeon4Core(), GetParam());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(Run(host.CreateAndBoot(Daytime(lv::StrFormat("pre%d", i)))).ok());
+  }
+  EXPECT_EQ(host.num_vms(), 4);
+
+  host.Crash();
+  ASSERT_TRUE(sim::RunUntilCondition(engine_, [&] { return host.crash_settled(); },
+                                     Duration::Seconds(60)));
+  EXPECT_EQ(host.num_vms(), 0);
+  // New work is refused while the node is down.
+  EXPECT_EQ(Run(host.CreateVm(Daytime("while-down"))).error().code,
+            lv::ErrorCode::kUnavailable);
+  lv::Status verified = VerifyNoLeakedResources(host);
+  EXPECT_TRUE(verified.ok()) << verified.error().message;
+
+  host.Reboot();
+  EXPECT_FALSE(host.crashed());
+  auto domid = Run(host.CreateAndBoot(Daytime("post-reboot")));
+  EXPECT_TRUE(domid.ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMechanisms, FailureTest,
