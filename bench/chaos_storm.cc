@@ -6,6 +6,7 @@
 //
 //   chaos_storm [--vms=2000] [--nodes=6] [--concurrency=16] [--seed=42]
 //               [--events=24] [--horizon-ms=2000] [--json=<file>]
+//               [--flight-out=<file>]
 //
 // Reports recovery-time percentiles, VMs lost vs recovered, and the
 // admission-budget drift (must be zero: every commit matched by exactly one
@@ -73,10 +74,15 @@ int main(int argc, char** argv) {
       horizon_ms = std::atof(arg + 13);
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       report_args.push_back(argv[i]);
+    } else if (std::strncmp(arg, "--flight-out=", 13) == 0) {
+      // Arms the always-on flight recorder's post-mortem dump: written only
+      // when the run fails (FailRun, invariant violation).
+      obs::FlightRecorder::Get().set_dump_path(arg + 13);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--vms=N] [--nodes=N] [--concurrency=N] [--seed=N] "
-                   "[--events=N] [--horizon-ms=MS] [--json=<file>]\n",
+                   "[--events=N] [--horizon-ms=MS] [--json=<file>] "
+                   "[--flight-out=<file>]\n",
                    argv[0]);
       return 2;
     }

@@ -14,6 +14,7 @@
 #include "src/base/assert.h"
 #include "src/base/strings.h"
 #include "src/core/host.h"
+#include "src/obs/obs.h"
 #include "src/metrics/export.h"
 #include "src/metrics/metrics.h"
 #include "src/sim/run.h"
@@ -184,9 +185,12 @@ inline void Point(const std::string& series,
 
 // Aborts a benchmark run that cannot produce valid results. A figure that
 // exits 0 with a silently truncated table poisons downstream comparisons,
-// so failures are loud and nonzero.
+// so failures are loud and nonzero. If a flight-recorder dump path is armed
+// (--flight-out), the per-node event rings are written first — the
+// post-mortem for exactly this situation.
 [[noreturn]] inline void FailRun(const std::string& reason) {
   std::fprintf(stderr, "benchmark run failed: %s\n", reason.c_str());
+  obs::FlightRecorder::Get().MaybeDump();
   std::exit(1);
 }
 

@@ -6,7 +6,7 @@
 //
 //   fleet_density [--vms=4000] [--nodes=4] [--concurrency=8] [--seed=1]
 //                 [--policy=all|first-fit|least-loaded|memory-balance]
-//                 [--json=<file>]
+//                 [--json=<file>] [--flight-out=<file>]
 //
 // Runs are deterministic: the same seed gives byte-identical output
 // (placement hash included, so any divergence is loud).
@@ -149,11 +149,15 @@ int main(int argc, char** argv) {
       policy = arg + 9;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       report_args.push_back(argv[i]);
+    } else if (std::strncmp(arg, "--flight-out=", 13) == 0) {
+      // Arms the always-on flight recorder's post-mortem dump: written only
+      // when the run fails (FailRun, invariant violation).
+      obs::FlightRecorder::Get().set_dump_path(arg + 13);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--vms=N] [--nodes=N] [--concurrency=N] [--seed=N] "
                    "[--policy=all|first-fit|least-loaded|memory-balance] "
-                   "[--json=<file>]\n",
+                   "[--json=<file>] [--flight-out=<file>]\n",
                    argv[0]);
       return 2;
     }

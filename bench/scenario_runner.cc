@@ -5,17 +5,20 @@
 // schema-versioned BENCH_<name>.json artifacts as the dedicated binaries.
 //
 //   scenario_runner <spec.json> [--json=<file>] [--trace-out=<file>]
-//                   [--metrics-out=<file>] [--check]
+//                   [--metrics-out=<file>] [--flight-out=<file>] [--check]
 //
 //   --json         machine-readable results (lightvm-bench/1 schema)
 //   --trace-out    Chrome trace_event JSON of the final engine epoch
 //   --metrics-out  metrics-registry snapshot at end of run
-//   --check        parse + validate the spec, print a summary, run nothing
+//   --flight-out   flight-recorder dump, written only when the run fails
+//   --check        parse + validate the spec; when the spec carries an `slo`
+//                  section, additionally run it and fail (non-zero exit) on
+//                  any violated bound
 //
 // Examples:
 //   scenario_runner scenarios/fig04_instantiation.json --json=BENCH_fig04.json
 //   scenario_runner scenarios/churn_storm.json --trace-out=churn_trace.json
-//   scenario_runner scenarios/ci/fleet_ci.json --check
+//   scenario_runner scenarios/ci/chaos_ci.json --check --flight-out=flight.json
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -31,7 +34,7 @@ namespace {
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <spec.json> [--json=<file>] [--trace-out=<file>] "
-               "[--metrics-out=<file>] [--check]\n",
+               "[--metrics-out=<file>] [--flight-out=<file>] [--check]\n",
                argv0);
   std::exit(2);
 }
@@ -51,6 +54,8 @@ int main(int argc, char** argv) {
       options.trace_out = arg + 12;
     } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
       options.metrics_out = arg + 14;
+    } else if (std::strncmp(arg, "--flight-out=", 13) == 0) {
+      options.flight_out = arg + 13;
     } else if (std::strcmp(arg, "--check") == 0) {
       check_only = true;
     } else if (arg[0] == '-') {
@@ -71,8 +76,24 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (check_only) {
-    std::printf("OK: %s (workload=%s, nodes=%d, seed=%llu)\n", spec->name.c_str(),
-                scenario::WorkloadKindName(spec->workload.kind),
+    // Specs without SLOs stay parse-only (cheap validation of even the
+    // largest committed specs). A spec that declares SLOs is a gate: run it
+    // and enforce every bound.
+    if (!spec->slo.has_value()) {
+      std::printf("OK: %s (workload=%s, nodes=%d, seed=%llu)\n", spec->name.c_str(),
+                  scenario::WorkloadKindName(spec->workload.kind),
+                  spec->topology.nodes, (unsigned long long)spec->seed);
+      return 0;
+    }
+    options.enforce_slo = true;
+    auto result = scenario::Run(*spec, options, std::cout);
+    if (!result.ok()) {
+      std::fprintf(stderr, "FAIL: %s: %s\n", spec->name.c_str(),
+                   result.error().message.c_str());
+      return 1;
+    }
+    std::printf("OK: %s (workload=%s, nodes=%d, seed=%llu, slo bounds met)\n",
+                spec->name.c_str(), scenario::WorkloadKindName(spec->workload.kind),
                 spec->topology.nodes, (unsigned long long)spec->seed);
     return 0;
   }

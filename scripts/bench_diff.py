@@ -21,6 +21,12 @@ change (new-old)/old and fails when either
 Improvements (negative change) never fail. Use --gate SERIES[:COLUMN]
 (repeatable) to override the default hot-path selection.
 
+SLO verdicts: a document produced by `scenario_runner --check` carries an
+"slo" series (one row: <key>, <key>_bound, <key>_ok per configured bound).
+Those verdicts are surfaced as SLO PASS/FAIL lines, and a bound that passed
+in the baseline but fails in the candidate is a regression even when the
+raw timing change stays under --threshold.
+
 Exit codes: 0 clean, 1 regression found, 2 usage/schema error.
 
 Usage:
@@ -133,6 +139,35 @@ def diff_column(name, column, idx, old_points, new_points, threshold,
     return verdicts
 
 
+def slo_row(doc):
+    """The `slo` series' single row as {column: value}, or None."""
+    series = doc.get("series", {}).get("slo")
+    if not series or not series.get("points"):
+        return None
+    return dict(zip(series["columns"], series["points"][-1]))
+
+
+def report_slo(old, new):
+    """Print SLO verdicts from the candidate; fail pass->fail transitions."""
+    new_row = slo_row(new)
+    if new_row is None:
+        return []
+    old_row = slo_row(old) or {}
+    failures = []
+    for column in sorted(c for c in new_row if c.endswith("_ok")):
+        key = column[:-len("_ok")]
+        ok = new_row[column] == 1.0
+        print("SLO   %-40s %s  (%.3f <= %.3f)" %
+              (key, "PASS" if ok else "FAIL", new_row.get(key, 0.0),
+               new_row.get(key + "_bound", 0.0)))
+        if not ok and old_row.get(column) == 1.0:
+            failures.append("REGRESSION: slo %s passed in the baseline but "
+                            "fails now (%.3f > %.3f)" %
+                            (key, new_row.get(key, 0.0),
+                             new_row.get(key + "_bound", 0.0)))
+    return failures
+
+
 def diff_files(old_path, new_path, threshold, per_point, gates):
     old = load(old_path)
     new = load(new_path)
@@ -157,6 +192,7 @@ def diff_files(old_path, new_path, threshold, per_point, gates):
     if extra:
         print("note: new series not in baseline (not gated): %s" %
               ", ".join(sorted(extra)))
+    failures.extend(report_slo(old, new))
     return failures
 
 

@@ -139,6 +139,46 @@ class BenchDiffTest(unittest.TestCase):
         proc = self.run_diff(old, new)
         self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
 
+    # --- SLO verdict surfacing ------------------------------------------
+
+    @staticmethod
+    def add_slo(doc, value, bound):
+        doc["series"]["slo"] = {
+            "columns": ["recovery_p99_ms", "recovery_p99_ms_bound",
+                        "recovery_p99_ms_ok"],
+            "points": [[value, bound, 1.0 if value <= bound else 0.0]],
+        }
+
+    def test_slo_pass_surfaced(self):
+        old = make_doc([[1, 10.0, 100.0]])
+        new = make_doc([[1, 10.0, 100.0]])
+        self.add_slo(old, 300.0, 450.0)
+        self.add_slo(new, 320.0, 450.0)
+        proc = self.run_diff(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("SLO", proc.stdout)
+        self.assertIn("PASS", proc.stdout)
+
+    def test_slo_pass_to_fail_is_a_regression(self):
+        old = make_doc([[1, 10.0, 100.0]])
+        new = make_doc([[1, 10.0, 100.0]])
+        self.add_slo(old, 300.0, 450.0)
+        self.add_slo(new, 500.0, 450.0)
+        proc = self.run_diff(old, new, "--threshold", "99999")
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("FAIL", proc.stdout)
+        self.assertIn("REGRESSION: slo recovery_p99_ms", proc.stdout)
+
+    def test_slo_only_in_candidate_is_informational(self):
+        # A baseline predating SLOs doesn't fail the diff even when the
+        # candidate's bound is violated — there is no pass->fail transition.
+        old = make_doc([[1, 10.0, 100.0]])
+        new = make_doc([[1, 10.0, 100.0]])
+        self.add_slo(new, 500.0, 450.0)
+        proc = self.run_diff(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("FAIL", proc.stdout)
+
 
 if __name__ == "__main__":
     unittest.main()

@@ -70,7 +70,8 @@ def check_series(path, name, series):
 
 
 def check_histogram(path, name, hist):
-    for key in ("count", "sum", "min", "max", "p50", "p90", "p99", "buckets"):
+    for key in ("count", "sum", "min", "max", "p50", "p90", "p99", "p999",
+                "buckets"):
         if key not in hist:
             fail("%s: histogram %r missing %r" % (path, name, key))
     count = hist["count"]
@@ -90,10 +91,26 @@ def check_histogram(path, name, hist):
         if prev_hi is not None and lo < prev_hi:
             fail("%s: histogram %r buckets overlap at lo=%r" % (path, name, lo))
         prev_hi = hi_val
-    if count > 0 and not hist["min"] <= hist["p50"] <= hist["p99"] <= hist["max"]:
-        fail("%s: histogram %r quantiles not ordered: min=%r p50=%r p99=%r "
-             "max=%r" % (path, name, hist["min"], hist["p50"], hist["p99"],
-                         hist["max"]))
+    if count > 0:
+        if not (hist["min"] <= hist["p50"] <= hist["p90"] <= hist["p99"]
+                <= hist["p999"] <= hist["max"]):
+            fail("%s: histogram %r quantiles not ordered: min=%r p50=%r "
+                 "p90=%r p99=%r p999=%r max=%r" %
+                 (path, name, hist["min"], hist["p50"], hist["p90"],
+                  hist["p99"], hist["p999"], hist["max"]))
+        # min/max are exact observed values (not bucket midpoints): min must
+        # not exceed the first non-empty bucket's upper bound, max must not
+        # undershoot the last one's lower bound. (Underflow catches values
+        # below its lo, so only these one-sided bounds are exact.)
+        first_hi = buckets[0][1]
+        last_lo = buckets[-1][0]
+        first_hi = math.inf if first_hi in ("+inf", None) else first_hi
+        if hist["min"] > first_hi:
+            fail("%s: histogram %r min=%r above first bucket hi=%r" %
+                 (path, name, hist["min"], first_hi))
+        if hist["max"] < last_lo:
+            fail("%s: histogram %r max=%r below last bucket lo=%r" %
+                 (path, name, hist["max"], last_lo))
 
 
 def nearest_rank(sorted_xs, q):

@@ -2,8 +2,12 @@
 """Validate a Chrome trace_event JSON file produced by the trace subsystem.
 
 Checks that the file parses as JSON, that begin/end span events pair up and
-nest properly per track, and that timestamps are monotonically non-decreasing
-(both globally — events are recorded in simulated-time order — and per track).
+nest properly per track, that timestamps are monotonically non-decreasing
+(both globally — events are recorded in simulated-time order — and per track),
+and that flow events (causal operation arcs) are well-formed: every flow id
+starts with exactly one "s", ends with exactly one "f", has only "t" steps in
+between, and never dangles (a flow id with a start but no finish, or vice
+versa, would render as a broken arrow in Perfetto).
 
 Usage:
   check_trace_json.py trace.json ...        validate existing file(s)
@@ -32,7 +36,7 @@ def fail(msg):
     sys.exit(1)
 
 
-def validate(path):
+def validate(path, min_flows=0):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -46,7 +50,8 @@ def validate(path):
     prev_ts = None
     per_track_prev = {}
     open_spans = {}  # tid -> stack of (name, ts)
-    counts = {"B": 0, "E": 0, "C": 0, "i": 0, "M": 0}
+    flows = {}  # flow id -> list of phases in file order
+    counts = {"B": 0, "E": 0, "C": 0, "i": 0, "M": 0, "s": 0, "t": 0, "f": 0}
 
     for i, ev in enumerate(events):
         ph = ev.get("ph")
@@ -69,6 +74,17 @@ def validate(path):
             fail("%s: event %d (%r) goes back in time on track %s" %
                  (path, i, name, tid))
         per_track_prev[tid] = ts
+
+        if ph in ("s", "t", "f"):
+            flow_id = ev.get("id")
+            if not isinstance(flow_id, int):
+                fail("%s: flow event %d (%r) has bad id %r" %
+                     (path, i, name, flow_id))
+            if ph == "f" and ev.get("bp") != "e":
+                fail("%s: flow event %d (%r) finishes without bp=e — "
+                     "Perfetto would not bind it to the enclosing slice" %
+                     (path, i, name))
+            flows.setdefault(flow_id, []).append(ph)
 
         if ph == "B":
             open_spans.setdefault(tid, []).append((name, ts))
@@ -93,15 +109,37 @@ def validate(path):
              (path, counts["B"], counts["E"]))
     if counts["B"] == 0:
         fail("%s: no spans recorded" % path)
+    for flow_id, phases in flows.items():
+        if phases[0] != "s":
+            fail("%s: flow %d does not start with 's' (got %r)" %
+                 (path, flow_id, phases))
+        if phases[-1] != "f":
+            fail("%s: flow %d dangles — no finishing 'f' (got %r)" %
+                 (path, flow_id, phases))
+        if phases.count("s") != 1 or phases.count("f") != 1:
+            fail("%s: flow %d has %d starts / %d finishes (want exactly 1 "
+                 "each)" % (path, flow_id, phases.count("s"),
+                            phases.count("f")))
+        if any(p != "t" for p in phases[1:-1]):
+            fail("%s: flow %d has non-step phases between s and f: %r" %
+                 (path, flow_id, phases))
+    if len(flows) < min_flows:
+        fail("%s: only %d flows recorded, expected >= %d — causal op "
+             "propagation is broken somewhere in the control plane" %
+             (path, len(flows), min_flows))
 
-    print("OK: %s (%d events: %d spans, %d counter samples, %d instants)" %
-          (path, len(events), counts["B"], counts["C"], counts["i"]))
+    print("OK: %s (%d events: %d spans, %d counter samples, %d instants, "
+          "%d flows)" % (path, len(events), counts["B"], counts["C"],
+                         counts["i"], len(flows)))
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("files", nargs="*", help="trace JSON files to validate")
     parser.add_argument("--cli", help="path to chaos_cli; generates a trace first")
+    parser.add_argument("--min-flows", type=int, default=0,
+                        help="fail unless at least this many distinct flow "
+                        "ids appear (cross-layer causal arcs)")
     parser.add_argument("--run", nargs=argparse.REMAINDER,
                         help="command to run with --trace-out=<tmp> appended; "
                         "consumes the rest of the argv")
@@ -110,7 +148,7 @@ def main():
         parser.error("give trace files, --cli, and/or --run")
 
     for path in args.files:
-        validate(path)
+        validate(path, args.min_flows)
 
     if args.run:
         with tempfile.TemporaryDirectory() as tmp:
@@ -122,7 +160,7 @@ def main():
                 fail("%s exited %d:\n%s" %
                      (" ".join(args.run), proc.returncode,
                       proc.stdout.decode()))
-            validate(out)
+            validate(out, args.min_flows)
 
     if args.cli:
         with tempfile.TemporaryDirectory() as tmp:

@@ -6,6 +6,8 @@
 #include "src/base/log.h"
 #include "src/core/verify.h"
 #include "src/metrics/metrics.h"
+#include "src/obs/obs.h"
+#include "src/trace/trace.h"
 
 namespace cluster {
 
@@ -26,8 +28,10 @@ Cluster::Cluster(sim::Engine* engine, ClusterSpec spec,
     spec_.vcpu_budget = spec_.vcpu_overcommit * guest_cores;
   }
   nodes_.resize(spec_.num_nodes);
-  for (Node& node : nodes_) {
-    node.host = std::make_unique<lightvm::Host>(engine_, spec_.node, spec_.mechanisms);
+  for (int i = 0; i < spec_.num_nodes; ++i) {
+    nodes_[i].host =
+        std::make_unique<lightvm::Host>(engine_, spec_.node, spec_.mechanisms);
+    nodes_[i].host->set_obs_node(i);
   }
 }
 
@@ -106,7 +110,10 @@ int64_t Cluster::total_vms() const {
 }
 
 sim::Co<lv::Result<VmHandle>> Cluster::Deploy(toolstack::VmConfig config,
-                                              bool wait_boot) {
+                                              bool wait_boot, obs::OpRef parent) {
+  obs::OpRef op = obs::NewOp(parent);
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Get();
+  trace::Tracer::Get().Flow(trace::kHostTrack, "cluster.deploy", op.root);
   // One re-placement is allowed when the chosen node dies under the deploy:
   // the reservation is released (generation-guarded) and placement runs
   // again over the survivors instead of leaking the budget or failing with
@@ -118,13 +125,16 @@ sim::Co<lv::Result<VmHandle>> Cluster::Deploy(toolstack::VmConfig config,
       ++deploy_failures_;
       static metrics::Counter& rejects = metrics::GetCounter("cluster.admission_rejects");
       rejects.Inc();
+      recorder.Record(0, op, "cluster", "deploy.reject", false);
       co_return lv::Err(lv::ErrorCode::kUnavailable, "no node admits the VM");
     }
     // Commit the budget before the first suspension point: a concurrent
     // Deploy sees this VM's reservation even though the create is in flight.
     Node& node = nodes_[pick];
     Placement placement{config.image.memory, config.vcpus, config};
+    placement.op = op;
     const int64_t gen = node.generation;
+    recorder.Record(pick, op, "cluster", "deploy", true, placement_round);
     node.memory_committed += placement.memory;
     node.vcpus_committed += placement.vcpus;
     ++node.active_creates;
@@ -143,7 +153,7 @@ sim::Co<lv::Result<VmHandle>> Cluster::Deploy(toolstack::VmConfig config,
           break;  // the node died while backing off
         }
       }
-      created = co_await node.host->node().SubmitCreate(config, wait_boot).Get();
+      created = co_await node.host->node().SubmitCreate(config, wait_boot, op).Get();
       if (created.ok()) {
         break;
       }
@@ -165,6 +175,8 @@ sim::Co<lv::Result<VmHandle>> Cluster::Deploy(toolstack::VmConfig config,
       ++vms_deployed_;
       static metrics::Counter& deploys = metrics::GetCounter("cluster.vms_deployed");
       deploys.Inc();
+      recorder.Record(pick, op, "cluster", "deploy.done", true, *created);
+      trace::Tracer::Get().Flow(trace::kHostTrack, "cluster.deploy.done", op.root);
       co_return handle;
     }
     // Failed — or succeeded onto a node that crashed meanwhile, whose settle
@@ -179,18 +191,24 @@ sim::Co<lv::Result<VmHandle>> Cluster::Deploy(toolstack::VmConfig config,
       ++deploy_replacements_;
       static metrics::Counter& replaced = metrics::GetCounter("cluster.deploy_replacements");
       replaced.Inc();
+      recorder.Record(pick, op, "cluster", "deploy.replace", false);
       continue;
     }
     ++deploy_failures_;
     if (node_lost) {
+      // Typed double failure: both the original node and the re-placed one
+      // died under this deploy. Leave a post-mortem if a dump path is set.
+      recorder.Record(pick, op, "cluster", "deploy.dead", false);
+      recorder.MaybeDump();
       co_return lv::Err(lv::ErrorCode::kUnavailable,
                         "target node died during deploy");
     }
+    recorder.Record(pick, op, "cluster", "deploy.fail", false);
     co_return created.error();
   }
 }
 
-sim::Co<lv::Status> Cluster::Retire(VmHandle handle) {
+sim::Co<lv::Status> Cluster::Retire(VmHandle handle, obs::OpRef parent) {
   if (handle.node < 0 || handle.node >= spec_.num_nodes) {
     co_return lv::Err(lv::ErrorCode::kInvalidArgument, "bad node index");
   }
@@ -198,6 +216,10 @@ sim::Co<lv::Status> Cluster::Retire(VmHandle handle) {
   if (it == placements_.end()) {
     co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM handle");
   }
+  obs::OpRef op = obs::NewOp(parent);
+  obs::FlightRecorder::Get().Record(handle.node, op, "cluster", "retire", true,
+                                    handle.domid);
+  trace::Tracer::Get().Flow(trace::kHostTrack, "cluster.retire", op.root);
   // Claim the placement before the first suspension point, so a concurrent
   // evacuation of a dying node cannot resurrect a VM its owner is retiring.
   Placement placement = std::move(it->second);
@@ -205,7 +227,7 @@ sim::Co<lv::Status> Cluster::Retire(VmHandle handle) {
   Node& node = nodes_[handle.node];
   const int64_t gen = node.generation;
   lv::Status destroyed =
-      co_await node.host->node().SubmitDestroy(handle.domid).Get();
+      co_await node.host->node().SubmitDestroy(handle.domid, op).Get();
   if (node.generation != gen) {
     // The node died under the destroy: its state (and this VM) is gone and
     // its budgets were written off wholesale. The VM no longer runs, which
@@ -223,7 +245,8 @@ sim::Co<lv::Status> Cluster::Retire(VmHandle handle) {
   co_return lv::Status::Ok();
 }
 
-sim::Co<lv::Result<VmHandle>> Cluster::Migrate(VmHandle handle, int target_node) {
+sim::Co<lv::Result<VmHandle>> Cluster::Migrate(VmHandle handle, int target_node,
+                                               obs::OpRef parent) {
   if (handle.node < 0 || handle.node >= spec_.num_nodes || target_node < 0 ||
       target_node >= spec_.num_nodes) {
     co_return lv::Err(lv::ErrorCode::kInvalidArgument, "bad node index");
@@ -248,6 +271,10 @@ sim::Co<lv::Result<VmHandle>> Cluster::Migrate(VmHandle handle, int target_node)
     rejects.Inc();
     co_return lv::Err(lv::ErrorCode::kUnavailable, "target node over budget");
   }
+  obs::OpRef op = obs::NewOp(parent);
+  obs::FlightRecorder::Get().Record(handle.node, op, "cluster", "migrate", true,
+                                    handle.domid);
+  trace::Tracer::Get().Flow(trace::kHostTrack, "cluster.migrate", op.root);
   const int64_t src_gen = src.generation;
   const int64_t dst_gen = dst.generation;
   dst.memory_committed += placement.memory;
@@ -287,10 +314,14 @@ sim::Co<lv::Result<VmHandle>> Cluster::Migrate(VmHandle handle, int target_node)
                       "target node died during migration");
   }
   VmHandle out{target_node, *moved};
+  placement.op = op;  // the migrated VM now belongs to the migrate chain
   placements_[Key(out)] = std::move(placement);
   ++migrations_;
   static metrics::Counter& migrations = metrics::GetCounter("cluster.migrations");
   migrations.Inc();
+  obs::FlightRecorder::Get().Record(target_node, op, "cluster", "migrate.done", true,
+                                    *moved);
+  trace::Tracer::Get().Flow(trace::kHostTrack, "cluster.migrate.done", op.root);
   co_return out;
 }
 
@@ -368,6 +399,11 @@ void Cluster::CheckInvariants() {
         node.vcpus_committed > spec_.vcpu_budget ||
         node.memory_committed < lv::Bytes() || node.vcpus_committed < 0) {
       ++invariant_failures_;
+      static metrics::Counter& violations =
+          metrics::GetCounter("cluster.invariant_failures");
+      violations.Inc();
+      obs::FlightRecorder::Get().Record(i, {}, "cluster", "invariant.budget", false);
+      obs::FlightRecorder::Get().MaybeDump();
       LV_ERROR(kMod, "node %d admission out of bounds: mem=%lld vcpus=%lld", i,
                (long long)node.memory_committed.count(),
                (long long)node.vcpus_committed);
@@ -381,6 +417,9 @@ void Cluster::CheckInvariants() {
       lv::Status ok = lightvm::VerifyNoLeakedResources(host);
       if (!ok.ok()) {
         ++invariant_failures_;
+        static metrics::Counter& violations =
+            metrics::GetCounter("cluster.invariant_failures");
+        violations.Inc();
         LV_ERROR(kMod, "node %d leak invariant violated: %s", i,
                  ok.error().message.c_str());
       }
@@ -401,16 +440,21 @@ sim::Co<void> Cluster::HealthLoop() {
         failures.Inc();
         auto lost = WriteOffNode(i);
         vms_lost_ += static_cast<int64_t>(lost.size());
+        static metrics::Counter& lost_vms = metrics::GetCounter("cluster.vms_lost");
+        lost_vms.Inc(static_cast<double>(lost.size()));
         lv::TimePoint detected = engine_->now();
+        obs::FlightRecorder::Get().Record(i, {}, "cluster", "node.dead", false,
+                                          static_cast<int64_t>(lost.size()));
         LV_INFO(kMod, "node %d dead, evacuating %lld VMs", i,
                 (long long)lost.size());
         for (auto& [domid, placement] : lost) {
           evac_queue_.push_back(
-              Evacuee{domid, i, detected, std::move(placement.config)});
+              Evacuee{domid, i, detected, std::move(placement.config), placement.op});
         }
       } else if (!node.alive && !node.host->crashed()) {
         // The node rebooted (empty); hand it back to the placement policy.
         node.alive = true;
+        obs::FlightRecorder::Get().Record(i, {}, "cluster", "node.readmit", true);
         LV_INFO(kMod, "node %d back in service", i);
       }
     }
@@ -430,12 +474,19 @@ sim::Co<void> Cluster::RecoveryLoop() {
     }
     Evacuee ev = std::move(evac_queue_.front());
     evac_queue_.pop_front();
-    auto replaced = co_await Deploy(ev.config, /*wait_boot=*/true);
+    // Re-deploy under the original Deploy op: the evacuation joins the
+    // flow of the operation that placed the VM in the first place.
+    obs::FlightRecorder::Get().Record(ev.from_node, ev.op, "cluster", "evacuate", true,
+                                      ev.domid);
+    auto replaced = co_await Deploy(ev.config, /*wait_boot=*/true, ev.op);
     if (replaced.ok()) {
       ++vms_recovered_;
       recovery_ms_.push_back((engine_->now() - ev.detected).ms());
       static metrics::Counter& recovered = metrics::GetCounter("cluster.vms_recovered");
       recovered.Inc();
+      static metrics::Histogram& recovery =
+          metrics::GetHistogram("cluster.recovery_ms", "ms");
+      recovery.RecordDuration(engine_->now() - ev.detected);
     } else {
       ++vms_unrecovered_;
       static metrics::Counter& unrecovered =

@@ -34,6 +34,7 @@
 
 #include "src/cluster/placement.h"
 #include "src/core/host.h"
+#include "src/obs/obs.h"
 
 namespace cluster {
 
@@ -95,15 +96,21 @@ class Cluster {
   // deploy the reservation is released and placement is retried once on the
   // survivors. Fails with kUnavailable when no node admits the VM or the
   // re-placed attempt also loses its node.
-  sim::Co<lv::Result<VmHandle>> Deploy(toolstack::VmConfig config, bool wait_boot);
+  // Every operation mints a causal op (src/obs) under `parent` — the root
+  // op id is the exported flow id, so a Deploy's whole story (node jobs,
+  // toolstack creates, a crash-triggered re-place, the recovery-loop
+  // re-deploy) shares one flow. Callers usually pass nothing (a root op).
+  sim::Co<lv::Result<VmHandle>> Deploy(toolstack::VmConfig config, bool wait_boot,
+                                       obs::OpRef parent = {});
 
   // Destroys the VM and releases its budget. Retiring a VM whose node died
   // mid-destroy succeeds (the node's state is gone either way).
-  sim::Co<lv::Status> Retire(VmHandle handle);
+  sim::Co<lv::Status> Retire(VmHandle handle, obs::OpRef parent = {});
 
   // Migrates the VM to `target_node` (admission-checked there) and returns
   // its new handle.
-  sim::Co<lv::Result<VmHandle>> Migrate(VmHandle handle, int target_node);
+  sim::Co<lv::Result<VmHandle>> Migrate(VmHandle handle, int target_node,
+                                        obs::OpRef parent = {});
 
   // --- Self-healing ----------------------------------------------------------
 
@@ -165,6 +172,9 @@ class Cluster {
     lv::Bytes memory;
     int64_t vcpus = 0;
     toolstack::VmConfig config;
+    // The Deploy op that placed the VM; an evacuation re-deploys under it
+    // so the recovery shares the original flow.
+    obs::OpRef op;
   };
 
   static int64_t Key(VmHandle handle) {
@@ -206,6 +216,7 @@ class Cluster {
     int from_node = -1;
     lv::TimePoint detected;
     toolstack::VmConfig config;
+    obs::OpRef op;  // the original Deploy op (causal parent of the re-place)
   };
   std::deque<Evacuee> evac_queue_;
   // Owner-held loop frames (own-and-drain): ~Cluster signals stop and steps

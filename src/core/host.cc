@@ -1,6 +1,7 @@
 #include "src/core/host.h"
 
 #include "src/base/assert.h"
+#include "src/obs/obs.h"
 
 namespace lightvm {
 
@@ -140,6 +141,7 @@ void Host::Crash() {
   crash_settled_ = false;
   fault_hooks_.node_crashed = true;
   node_->set_accepting(false);
+  obs::FlightRecorder::Get().Record(node_->obs_node(), {}, "host", "crash", false);
   engine_->Spawn(SettleCrash());
 }
 
@@ -168,6 +170,7 @@ void Host::Reboot() {
   crash_settled_ = false;
   fault_hooks_.node_crashed = false;
   node_->set_accepting(true);
+  obs::FlightRecorder::Get().Record(node_->obs_node(), {}, "host", "reboot", true);
 }
 
 }  // namespace lightvm

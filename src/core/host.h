@@ -90,6 +90,11 @@ class Host {
   faults::FaultHooks& fault_hooks() { return fault_hooks_; }
   const ResourceBaseline& resource_baseline() const { return baseline_; }
 
+  // Flight-recorder ring for this host's events (the cluster assigns its
+  // node index at construction).
+  void set_obs_node(int node) { node_->set_obs_node(node); }
+  int obs_node() const { return node_->obs_node(); }
+
   // Shell-pool configuration (split toolstack). Call before creating VMs.
   void AddShellFlavor(lv::Bytes memory, bool wants_net, int target);
   // Runs the engine until the shell pool is fully stocked.

@@ -36,7 +36,9 @@ NodeApi::~NodeApi() {
 }
 
 sim::ExecCtx NodeApi::Dom0Ctx() {
-  return sim::ExecCtx{deps_.cpu, deps_.placer->NextDom0Core(), sim::kHostOwner};
+  sim::ExecCtx ctx{deps_.cpu, deps_.placer->NextDom0Core(), sim::kHostOwner};
+  ctx.node = obs_node_;
+  return ctx;
 }
 
 // --- Synchronous lifecycle ------------------------------------------------------
@@ -118,51 +120,67 @@ void NodeApi::FinishJob(bool ok) {
   }
 }
 
-CreateJob NodeApi::SubmitCreate(toolstack::VmConfig config, bool wait_boot) {
+CreateJob NodeApi::SubmitCreate(toolstack::VmConfig config, bool wait_boot,
+                                obs::OpRef parent) {
   CreateJob result(deps_.engine);
   if (!accepting_) {
+    obs::FlightRecorder::Get().Record(obs_node_, obs::NewOp(parent), "node", "create",
+                                      false);
     result.Set(lv::Err(lv::ErrorCode::kUnavailable, "node not accepting work"));
     return result;
   }
   int64_t job = StartJob();
-  deps_.engine->Spawn(RunCreateJob(job, std::move(config), wait_boot, result));
+  deps_.engine->Spawn(RunCreateJob(job, obs::NewOp(parent), std::move(config), wait_boot,
+                                   result));
   return result;
 }
 
-StatusJob NodeApi::SubmitDestroy(hv::DomainId domid) {
+StatusJob NodeApi::SubmitDestroy(hv::DomainId domid, obs::OpRef parent) {
   StatusJob result(deps_.engine);
   if (!accepting_) {
+    obs::FlightRecorder::Get().Record(obs_node_, obs::NewOp(parent), "node", "destroy",
+                                      false, domid);
     result.Set(lv::Err(lv::ErrorCode::kUnavailable, "node not accepting work"));
     return result;
   }
   int64_t job = StartJob();
-  deps_.engine->Spawn(RunDestroyJob(job, domid, result));
+  deps_.engine->Spawn(RunDestroyJob(job, obs::NewOp(parent), domid, result));
   return result;
 }
 
-StatusJob NodeApi::SubmitMigrate(hv::DomainId domid, NodeApi* target, xnet::Link* link) {
+StatusJob NodeApi::SubmitMigrate(hv::DomainId domid, NodeApi* target, xnet::Link* link,
+                                 obs::OpRef parent) {
   StatusJob result(deps_.engine);
   if (!accepting_) {
+    obs::FlightRecorder::Get().Record(obs_node_, obs::NewOp(parent), "node", "migrate",
+                                      false, domid);
     result.Set(lv::Err(lv::ErrorCode::kUnavailable, "node not accepting work"));
     return result;
   }
   int64_t job = StartJob();
-  deps_.engine->Spawn(RunMigrateJob(job, domid, target, link, result));
+  deps_.engine->Spawn(RunMigrateJob(job, obs::NewOp(parent), domid, target, link, result));
   return result;
 }
 
-sim::Co<void> NodeApi::RunCreateJob(int64_t job, toolstack::VmConfig config, bool wait_boot,
-                                    CreateJob result) {
-  sim::ExecCtx ctx = Dom0Ctx().WithJob(job);
+sim::Co<void> NodeApi::RunCreateJob(int64_t job, obs::OpRef op, toolstack::VmConfig config,
+                                    bool wait_boot, CreateJob result) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Get();
+  recorder.Record(obs_node_, op, "node", "create", true, job);
+  sim::ExecCtx ctx = Dom0Ctx().WithJob(job).WithOp(op.id, op.root);
   auto domid = co_await toolstack_->Create(ctx, std::move(config));
   if (domid.ok() && wait_boot) {
     co_await WaitBooted(*domid);
   }
+  recorder.Record(obs_node_, op, "node", "create.done", domid.ok(),
+                  domid.ok() ? static_cast<int64_t>(*domid) : 0);
   FinishJob(domid.ok());
   result.Set(std::move(domid));
 }
 
-sim::Co<void> NodeApi::RunDestroyJob(int64_t job, hv::DomainId domid, StatusJob result) {
+sim::Co<void> NodeApi::RunDestroyJob(int64_t job, obs::OpRef op, hv::DomainId domid,
+                                     StatusJob result) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Get();
+  recorder.Record(obs_node_, op, "node", "destroy", true, domid);
   lv::Status destroyed = lv::Status::Ok();
   {
     VmOpGuard guard(this, domid);
@@ -170,15 +188,19 @@ sim::Co<void> NodeApi::RunDestroyJob(int64_t job, hv::DomainId domid, StatusJob 
       destroyed = lv::Err(lv::ErrorCode::kUnavailable,
                           "concurrent lifecycle operation on domain");
     } else {
-      destroyed = co_await toolstack_->Destroy(Dom0Ctx().WithJob(job), domid);
+      destroyed =
+          co_await toolstack_->Destroy(Dom0Ctx().WithJob(job).WithOp(op.id, op.root), domid);
     }
   }
+  recorder.Record(obs_node_, op, "node", "destroy.done", destroyed.ok(), domid);
   FinishJob(destroyed.ok());
   result.Set(std::move(destroyed));
 }
 
-sim::Co<void> NodeApi::RunMigrateJob(int64_t job, hv::DomainId domid, NodeApi* target,
-                                     xnet::Link* link, StatusJob result) {
+sim::Co<void> NodeApi::RunMigrateJob(int64_t job, obs::OpRef op, hv::DomainId domid,
+                                     NodeApi* target, xnet::Link* link, StatusJob result) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Get();
+  recorder.Record(obs_node_, op, "node", "migrate", true, domid);
   lv::Status status = lv::Status::Ok();
   {
     VmOpGuard guard(this, domid);
@@ -186,13 +208,15 @@ sim::Co<void> NodeApi::RunMigrateJob(int64_t job, hv::DomainId domid, NodeApi* t
       status = lv::Err(lv::ErrorCode::kUnavailable,
                        "concurrent lifecycle operation on domain");
     } else {
-      auto moved = co_await toolstack::Migrate(toolstack_.get(), Dom0Ctx().WithJob(job),
+      auto moved = co_await toolstack::Migrate(toolstack_.get(),
+                                               Dom0Ctx().WithJob(job).WithOp(op.id, op.root),
                                                domid, &target->migration_daemon(), link);
       if (!moved.ok()) {
         status = lv::Err(moved.error().code, moved.error().message);
       }
     }
   }
+  recorder.Record(obs_node_, op, "node", "migrate.done", status.ok(), domid);
   FinishJob(status.ok());
   result.Set(std::move(status));
 }

@@ -23,6 +23,7 @@
 
 #include "src/core/dom0.h"
 #include "src/core/mechanisms.h"
+#include "src/obs/obs.h"
 #include "src/sim/sync.h"
 #include "src/toolstack/chaos.h"
 #include "src/toolstack/chaos_daemon.h"
@@ -57,9 +58,15 @@ class NodeApi {
 
   // --- Concurrent jobs -------------------------------------------------------
 
-  CreateJob SubmitCreate(toolstack::VmConfig config, bool wait_boot);
-  StatusJob SubmitDestroy(hv::DomainId domid);
-  StatusJob SubmitMigrate(hv::DomainId domid, NodeApi* target, xnet::Link* link);
+  // `parent` links the job into a causal operation chain (src/obs): the
+  // cluster passes its Deploy/Retire/Migrate op so the job — and everything
+  // the toolstack does under it — shares the caller's flow id. Callers with
+  // no chain pass nothing and the job becomes a root op.
+  CreateJob SubmitCreate(toolstack::VmConfig config, bool wait_boot,
+                         obs::OpRef parent = {});
+  StatusJob SubmitDestroy(hv::DomainId domid, obs::OpRef parent = {});
+  StatusJob SubmitMigrate(hv::DomainId domid, NodeApi* target, xnet::Link* link,
+                          obs::OpRef parent = {});
 
   int64_t jobs_started() const { return jobs_started_; }
   int64_t jobs_completed() const { return jobs_completed_; }
@@ -70,6 +77,11 @@ class NodeApi {
   // immediately with kUnavailable instead of touching the dead node.
   void set_accepting(bool accepting) { accepting_ = accepting; }
   bool accepting() const { return accepting_; }
+
+  // Flight-recorder ring this node's events land in (the cluster assigns
+  // its node index; standalone hosts stay on ring 0).
+  void set_obs_node(int node) { obs_node_ = node; }
+  int obs_node() const { return obs_node_; }
 
   // --- Shell pool (split toolstack) -----------------------------------------
 
@@ -110,11 +122,12 @@ class NodeApi {
     bool held_;
   };
 
-  sim::Co<void> RunCreateJob(int64_t job, toolstack::VmConfig config, bool wait_boot,
-                             CreateJob result);
-  sim::Co<void> RunDestroyJob(int64_t job, hv::DomainId domid, StatusJob result);
-  sim::Co<void> RunMigrateJob(int64_t job, hv::DomainId domid, NodeApi* target,
-                              xnet::Link* link, StatusJob result);
+  sim::Co<void> RunCreateJob(int64_t job, obs::OpRef op, toolstack::VmConfig config,
+                             bool wait_boot, CreateJob result);
+  sim::Co<void> RunDestroyJob(int64_t job, obs::OpRef op, hv::DomainId domid,
+                              StatusJob result);
+  sim::Co<void> RunMigrateJob(int64_t job, obs::OpRef op, hv::DomainId domid,
+                              NodeApi* target, xnet::Link* link, StatusJob result);
   int64_t StartJob();
   void FinishJob(bool ok);
 
@@ -126,6 +139,7 @@ class NodeApi {
   std::unique_ptr<toolstack::MigrationDaemon> migration_daemon_;
   std::unordered_set<hv::DomainId> inflight_;
   bool accepting_ = true;
+  int obs_node_ = 0;
   int64_t next_job_ = 0;
   int64_t jobs_started_ = 0;
   int64_t jobs_completed_ = 0;

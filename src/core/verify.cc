@@ -2,10 +2,13 @@
 
 #include "src/base/strings.h"
 #include "src/core/host.h"
+#include "src/obs/obs.h"
 
 namespace lightvm {
 
-lv::Status VerifyNoLeakedResources(Host& host) {
+namespace {
+
+lv::Status RunChecks(Host& host) {
   hv::Hypervisor& hv = host.hv();
 
   // No zombie domains: every destroy must fully reap its target.
@@ -70,6 +73,21 @@ lv::Status VerifyNoLeakedResources(Host& host) {
                                  (long long)base.memory.count()));
   }
   return lv::Status::Ok();
+}
+
+}  // namespace
+
+lv::Status VerifyNoLeakedResources(Host& host) {
+  lv::Status status = RunChecks(host);
+  if (!status.ok()) {
+    // A violation is exactly the moment the flight recorder exists for:
+    // stamp it into the node's ring and drop a post-mortem dump if a path
+    // is configured (bench --flight-out, gate jobs).
+    obs::FlightRecorder& recorder = obs::FlightRecorder::Get();
+    recorder.Record(host.obs_node(), {}, "verify", "violation", false);
+    recorder.MaybeDump();
+  }
+  return status;
 }
 
 }  // namespace lightvm

@@ -1,6 +1,7 @@
 #include "src/devices/hotplug.h"
 
 #include "src/metrics/metrics.h"
+#include "src/obs/obs.h"
 
 namespace xdev {
 
@@ -15,7 +16,11 @@ sim::Co<void> BashHotplug::RunScript(sim::ExecCtx ctx, hv::DeviceType type) {
   co_await lock_->Acquire();
   lv::Duration stall = TakeStall();
   if (!stall.is_zero()) {
-    // A buggy/timing-out script spins before completing, lock held.
+    // A buggy/timing-out script spins before completing, lock held. Worth a
+    // flight entry: stalls are the classic "why was this create slow" answer.
+    obs::FlightRecorder::Get().Record(ctx.node, obs::OpRef{ctx.op, ctx.op_root, 0},
+                                      "devices", "hotplug.stall", false,
+                                      stall.ns() / 1000000);
     co_await ctx.Work(stall);
   }
   co_await ctx.Work(type == hv::DeviceType::kBlock ? costs_->bash_block_setup
@@ -37,6 +42,9 @@ sim::Co<void> Xendevd::Setup(sim::ExecCtx ctx, hv::DeviceType type) {
   runs.Inc();
   lv::Duration stall = TakeStall();
   if (!stall.is_zero()) {
+    obs::FlightRecorder::Get().Record(ctx.node, obs::OpRef{ctx.op, ctx.op_root, 0},
+                                      "devices", "hotplug.stall", false,
+                                      stall.ns() / 1000000);
     co_await ctx.Work(stall);
   }
   co_await ctx.Work(type == hv::DeviceType::kBlock ? costs_->xendevd_block_setup

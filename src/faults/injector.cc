@@ -2,8 +2,33 @@
 
 #include "src/base/assert.h"
 #include "src/base/log.h"
+#include "src/obs/obs.h"
 
 namespace faults {
+
+namespace {
+
+// Stable flight-recorder verb per fault kind (string literals: the recorder
+// stores the pointer, never copies).
+const char* FlightVerb(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash:
+      return "crash";
+    case FaultKind::kNodeReboot:
+      return "reboot";
+    case FaultKind::kXsRestart:
+      return "xs-restart";
+    case FaultKind::kHotplugStall:
+      return "hotplug-stall";
+    case FaultKind::kLinkPartition:
+      return "partition";
+    case FaultKind::kCreateFault:
+      return "create-fault";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 void FaultInjector::Arm() {
   LV_CHECK_MSG(!armed_, "FaultInjector armed twice");
@@ -69,6 +94,10 @@ void FaultInjector::Inject(const FaultEvent& ev) {
   }
   log_.push_back(line);
   ++injected_;
+  // Injections have no causal parent (they come from outside the system);
+  // the flight ring still anchors "what hit this node, when".
+  obs::FlightRecorder::Get().Record(ev.node, {}, "faults", FlightVerb(ev.kind),
+                                    handled);
   LV_DEBUG("faults", "%s", line.c_str());
   if (targets_.after_inject) {
     targets_.after_inject(ev);

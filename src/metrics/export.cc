@@ -54,12 +54,14 @@ std::string JsonNumber(double v) {
 namespace {
 
 void WriteHistogramJson(const Snapshot::HistogramValue& h, std::ostream& out) {
+  // min/max are the exact observed extremes (not bucket midpoints): bucket
+  // resolution would hide the tail values SLO checks gate on.
   out << lv::StrFormat(
       "{\"unit\":\"%s\",\"count\":%lld,\"sum\":%s,\"min\":%s,\"max\":%s,"
-      "\"p50\":%s,\"p90\":%s,\"p99\":%s,\"max_rel_error\":%s,\"buckets\":[",
+      "\"p50\":%s,\"p90\":%s,\"p99\":%s,\"p999\":%s,\"max_rel_error\":%s,\"buckets\":[",
       JsonEscape(h.unit).c_str(), (long long)h.count, JsonNumber(h.sum).c_str(),
       JsonNumber(h.min).c_str(), JsonNumber(h.max).c_str(), JsonNumber(h.p50).c_str(),
-      JsonNumber(h.p90).c_str(), JsonNumber(h.p99).c_str(),
+      JsonNumber(h.p90).c_str(), JsonNumber(h.p99).c_str(), JsonNumber(h.p999).c_str(),
       JsonNumber(Histogram::kMaxRelativeError).c_str());
   for (size_t i = 0; i < h.buckets.size(); ++i) {
     const auto& b = h.buckets[i];

@@ -195,6 +195,7 @@ Snapshot Registry::TakeSnapshot() const {
     v.p50 = h.Quantile(0.5);
     v.p90 = h.Quantile(0.9);
     v.p99 = h.Quantile(0.99);
+    v.p999 = h.Quantile(0.999);
     v.buckets = h.NonEmptyBuckets();
     snap.histograms.push_back(std::move(v));
   }

@@ -150,6 +150,7 @@ struct Snapshot {
     double p50 = 0.0;
     double p90 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
     std::vector<Histogram::Bucket> buckets;
   };
   std::vector<std::pair<std::string, double>> counters;

@@ -1,0 +1,59 @@
+#include "src/obs/slo.h"
+
+#include <cmath>
+
+namespace obs {
+
+namespace {
+
+double CounterValue(const metrics::Registry& registry, const std::string& name) {
+  const metrics::Counter* c = registry.FindCounter(name);
+  return c != nullptr ? c->value() : 0.0;
+}
+
+double GaugeAbs(const metrics::Registry& registry, const std::string& name) {
+  const metrics::Gauge* g = registry.FindGauge(name);
+  return g != nullptr ? std::abs(g->value()) : 0.0;
+}
+
+double HistogramP99(const metrics::Registry& registry, const std::string& name) {
+  const metrics::Histogram* h = registry.FindHistogram(name);
+  return (h != nullptr && !h->empty()) ? h->Quantile(0.99) : 0.0;
+}
+
+void Check(std::vector<SloResult>& out, const std::optional<double>& bound,
+           const char* key, double value) {
+  if (!bound.has_value()) {
+    return;
+  }
+  SloResult r;
+  r.key = key;
+  r.value = value;
+  r.bound = *bound;
+  r.ok = value <= *bound;
+  out.push_back(r);
+}
+
+}  // namespace
+
+std::vector<SloResult> EvaluateSlos(const SloConfig& config,
+                                    const metrics::Registry& registry) {
+  std::vector<SloResult> out;
+  // Whichever toolstack(s) ran, gate on the slowest one.
+  double create_p99 = std::max(HistogramP99(registry, "toolstack.chaos.create_ms"),
+                               HistogramP99(registry, "toolstack.xl.create_ms"));
+  Check(out, config.create_p99_ms, "create_p99_ms", create_p99);
+  Check(out, config.recovery_p99_ms, "recovery_p99_ms",
+        HistogramP99(registry, "cluster.recovery_ms"));
+  Check(out, config.admission_drift, "admission_drift",
+        std::max(GaugeAbs(registry, "cluster.drift_mem_bytes"),
+                 GaugeAbs(registry, "cluster.drift_vcpus")));
+  Check(out, config.vms_lost, "vms_lost", CounterValue(registry, "cluster.vms_lost"));
+  Check(out, config.vms_unrecovered, "vms_unrecovered",
+        CounterValue(registry, "cluster.vms_unrecovered"));
+  Check(out, config.invariant_failures, "invariant_failures",
+        CounterValue(registry, "cluster.invariant_failures"));
+  return out;
+}
+
+}  // namespace obs

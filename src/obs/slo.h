@@ -1,0 +1,48 @@
+// Declarative SLO gates: a scenario spec can carry an `slo` section whose
+// bounds are evaluated against the metrics registry at the end of a run
+// (`scenario_runner --check`). Every bound is an inclusive upper bound on
+// the observed value, so `"vms_lost": 0` reads as "vms_lost == 0" for a
+// non-negative counter and `"recovery_p99_ms": 450` as "p99 <= 450 ms".
+//
+// The value sources are fixed metric names (see EvaluateSlos), not spec
+// input — the spec only chooses which bounds to enforce, so a typo'd key
+// is a parse error and a missing metric evaluates as zero.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/metrics/metrics.h"
+
+namespace obs {
+
+// Bounds a spec may enforce. Absent fields are not evaluated.
+struct SloConfig {
+  std::optional<double> create_p99_ms;     // toolstack.*.create_ms p99 (worst toolstack)
+  std::optional<double> recovery_p99_ms;   // cluster.recovery_ms p99
+  std::optional<double> admission_drift;   // max(|cluster.drift_mem_bytes|, |cluster.drift_vcpus|)
+  std::optional<double> vms_lost;          // cluster.vms_lost counter
+  std::optional<double> vms_unrecovered;   // cluster.vms_unrecovered counter
+  std::optional<double> invariant_failures;  // cluster.invariant_failures counter
+
+  bool any() const {
+    return create_p99_ms || recovery_p99_ms || admission_drift || vms_lost ||
+           vms_unrecovered || invariant_failures;
+  }
+};
+
+struct SloResult {
+  std::string key;    // the spec field name
+  double value = 0.0; // observed
+  double bound = 0.0; // configured upper bound
+  bool ok = false;    // value <= bound
+};
+
+// Evaluates every configured bound against `registry`, in a fixed key
+// order (deterministic output). Metrics that were never recorded evaluate
+// as zero.
+std::vector<SloResult> EvaluateSlos(const SloConfig& config,
+                                    const metrics::Registry& registry);
+
+}  // namespace obs

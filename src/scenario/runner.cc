@@ -12,6 +12,8 @@
 #include "src/core/verify.h"
 #include "src/faults/injector.h"
 #include "src/metrics/export.h"
+#include "src/obs/obs.h"
+#include "src/obs/slo.h"
 #include "src/sim/run.h"
 #include "src/toolstack/config.h"
 #include "src/trace/export.h"
@@ -234,6 +236,11 @@ class Runner {
     if (tracing) {
       trace::Tracer::Get().Enable();
     }
+    if (!options_.flight_out.empty()) {
+      // Arms the post-mortem path: any MaybeDump() (invariant violation,
+      // double deploy failure, SLO miss below) writes the rings here.
+      obs::FlightRecorder::Get().set_dump_path(options_.flight_out);
+    }
 
     out_ << "# scenario: " << spec_.name;
     if (!spec_.title.empty()) {
@@ -274,10 +281,41 @@ class Runner {
         status = written;
       }
     }
+    if (status.ok() && options_.enforce_slo && spec_.slo.has_value()) {
+      status = CheckSlos();
+    }
     if (!status.ok()) {
+      obs::FlightRecorder::Get().MaybeDump();
       return status.error();
     }
     return result_;
+  }
+
+  // Evaluates the spec's `slo` section against the always-on metrics
+  // registry, prints the verdict table and fails on the first violated
+  // bound. Only reached under --check, so plain runs print nothing here.
+  lv::Status CheckSlos() {
+    std::vector<obs::SloResult> results =
+        obs::EvaluateSlos(*spec_.slo, metrics::Registry::Get());
+    out_ << "\n## slo\n";
+    std::vector<std::pair<std::string, double>> row;
+    std::string violated;
+    for (const obs::SloResult& r : results) {
+      out_ << lv::StrFormat("%-20s %12.3f <= %-12.3f %s\n", r.key.c_str(),
+                            r.value, r.bound, r.ok ? "ok" : "VIOLATED");
+      row.emplace_back(r.key, r.value);
+      row.emplace_back(r.key + "_bound", r.bound);
+      row.emplace_back(r.key + "_ok", r.ok ? 1.0 : 0.0);
+      if (!r.ok && violated.empty()) {
+        violated = lv::StrFormat("slo violated: %s = %.3f > %.3f",
+                                 r.key.c_str(), r.value, r.bound);
+      }
+    }
+    Point("slo", row);
+    if (!violated.empty()) {
+      return Err(ErrorCode::kInternal, violated);
+    }
+    return lv::Status::Ok();
   }
 
  private:
@@ -643,6 +681,14 @@ class Runner {
     }
     double makespan_s = (engine.now() - start).secs();
     Settle(engine);
+
+    // Publish quiescent admission drift to the registry: the `slo` section's
+    // admission_drift bound reads these gauges after the run.
+    cluster::Cluster::Drift quiesced = cl.AdmissionDrift();
+    metrics::GetGauge("cluster.drift_mem_bytes")
+        .Set(static_cast<double>(quiesced.memory.count()));
+    metrics::GetGauge("cluster.drift_vcpus")
+        .Set(static_cast<double>(quiesced.vcpus));
 
     std::vector<int64_t> per_node(static_cast<size_t>(cspec.num_nodes), 0);
     lv::Samples lat;

@@ -38,6 +38,11 @@ namespace scenario {
 struct RunOptions {
   std::string trace_out;    // Chrome trace_event JSON ("" = no trace)
   std::string metrics_out;  // metrics-registry snapshot JSON ("" = none)
+  std::string flight_out;   // flight-recorder dump written on failure ("" = none)
+  // Evaluate the spec's `slo` section after the workload and fail the run on
+  // any violation. Off by default so plain runs (and committed baselines)
+  // stay byte-identical whether or not a spec carries SLOs.
+  bool enforce_slo = false;
 };
 
 // Receives every recorded data point: a series name plus named columns in a

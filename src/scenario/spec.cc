@@ -481,6 +481,52 @@ lv::Result<WorkloadConfig> ParseWorkload(const Value& v) {
   return w;
 }
 
+lv::Result<obs::SloConfig> ParseSlo(const Value& v) {
+  obs::SloConfig slo;
+  const std::string context = "slo";
+  // Every bound is an inclusive upper bound on a non-negative observable,
+  // so negative bounds can never pass and are rejected as typos.
+  auto bound = [&](const Member& m,
+                   std::optional<double>* dest) -> lv::Status {
+    double value = 0.0;
+    auto parsed = WantNumber(context, m);
+    if (!parsed.ok()) {
+      return parsed.error();
+    }
+    value = *parsed;
+    if (value < 0.0) {
+      return BadField(context, m.first, "must be >= 0");
+    }
+    *dest = value;
+    return lv::Status::Ok();
+  };
+  for (const Member& m : v.AsObject()) {
+    lv::Status ok = lv::Status::Ok();
+    if (m.first == "create_p99_ms") {
+      ok = bound(m, &slo.create_p99_ms);
+    } else if (m.first == "recovery_p99_ms") {
+      ok = bound(m, &slo.recovery_p99_ms);
+    } else if (m.first == "admission_drift") {
+      ok = bound(m, &slo.admission_drift);
+    } else if (m.first == "vms_lost") {
+      ok = bound(m, &slo.vms_lost);
+    } else if (m.first == "vms_unrecovered") {
+      ok = bound(m, &slo.vms_unrecovered);
+    } else if (m.first == "invariant_failures") {
+      ok = bound(m, &slo.invariant_failures);
+    } else {
+      return UnknownKey(context, m.first);
+    }
+    if (!ok.ok()) {
+      return ok.error();
+    }
+  }
+  if (!slo.any()) {
+    return BadField(context, "slo", "must set at least one bound");
+  }
+  return slo;
+}
+
 }  // namespace
 
 lv::Result<lightvm::HostSpec> ResolveHostSpec(const HostSpecConfig& config) {
@@ -609,6 +655,16 @@ lv::Result<Spec> ParseSpec(std::string_view text) {
         return faults.error();
       }
       spec.faults = *std::move(faults);
+    } else if (m.first == "slo") {
+      auto ok = WantObject(context, m);
+      if (!ok.ok()) {
+        return ok.error();
+      }
+      auto slo = ParseSlo(m.second);
+      if (!slo.ok()) {
+        return slo.error();
+      }
+      spec.slo = *std::move(slo);
     } else if (m.first == "workload") {
       auto ok = WantObject(context, m);
       if (!ok.ok()) {

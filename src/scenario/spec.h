@@ -29,6 +29,7 @@
 #include "src/core/host.h"
 #include "src/core/mechanisms.h"
 #include "src/faults/plan.h"
+#include "src/obs/slo.h"
 
 namespace scenario {
 
@@ -119,6 +120,9 @@ struct Spec {
   std::optional<ShellPoolConfig> shell_pool;
   WorkloadConfig workload;
   std::optional<FaultsConfig> faults;
+  // Declarative SLO gates, evaluated against the metrics registry after the
+  // workload by `scenario_runner --check` (obs/slo.h has the key reference).
+  std::optional<obs::SloConfig> slo;
   int sample_points = 25;  // printed rows per series (full data in BENCH json)
 };
 

@@ -110,12 +110,27 @@ struct ExecCtx {
   // Control-plane job id (0 = not part of an async job). Threaded into trace
   // track names so overlapping lifecycle jobs land on distinct rows.
   int64_t job = 0;
+  // Causal operation identity (src/obs): the op this chain executes under
+  // and the root of its causal chain (the exported flow id). Zero when the
+  // chain is not part of a tracked operation. Plain ints so lv_sim stays
+  // decoupled from lv_obs; obs::OpRef is the minting-side view.
+  int64_t op = 0;
+  int64_t op_root = 0;
+  // Cluster node the chain runs on (flight-recorder ring index; 0 for
+  // single-host runs).
+  int node = 0;
 
   CpuScheduler::RunAwaiter Work(Duration d) const { return cpu->Run(core, d, owner); }
-  ExecCtx OnCore(int c) const { return ExecCtx{cpu, c, owner, track, job}; }
-  ExecCtx As(CpuOwner o) const { return ExecCtx{cpu, core, o, track, job}; }
-  ExecCtx OnTrack(trace::TrackId t) const { return ExecCtx{cpu, core, owner, t, job}; }
-  ExecCtx WithJob(int64_t j) const { return ExecCtx{cpu, core, owner, track, j}; }
+  ExecCtx OnCore(int c) const { return ExecCtx{cpu, c, owner, track, job, op, op_root, node}; }
+  ExecCtx As(CpuOwner o) const { return ExecCtx{cpu, core, o, track, job, op, op_root, node}; }
+  ExecCtx OnTrack(trace::TrackId t) const {
+    return ExecCtx{cpu, core, owner, t, job, op, op_root, node};
+  }
+  ExecCtx WithJob(int64_t j) const { return ExecCtx{cpu, core, owner, track, j, op, op_root, node}; }
+  ExecCtx WithOp(int64_t o, int64_t root) const {
+    return ExecCtx{cpu, core, owner, track, job, o, root, node};
+  }
+  ExecCtx OnNode(int n) const { return ExecCtx{cpu, core, owner, track, job, op, op_root, n}; }
 };
 
 // Round-robin core placement helper mirroring the paper's experimental setup

@@ -1,6 +1,7 @@
 #include "src/sim/engine.h"
 
 #include "src/base/log.h"
+#include "src/obs/obs.h"
 #include "src/trace/trace.h"
 
 namespace sim {
@@ -14,6 +15,7 @@ TimePoint LoggerNow(void* ctx) { return static_cast<Engine*>(ctx)->now(); }
 Engine::Engine(uint64_t seed) : rng_(seed) {
   lv::Logger::Get().AttachClock(&LoggerNow, this);
   trace::Tracer::Get().AttachClock(&LoggerNow, this);
+  obs::FlightRecorder::Get().AttachClock(&LoggerNow, this);
 }
 
 Engine::~Engine() {
@@ -30,6 +32,7 @@ Engine::~Engine() {
   }
   lv::Logger::Get().DetachClock();
   trace::Tracer::Get().DetachClock();
+  obs::FlightRecorder::Get().DetachClock();
 }
 
 EventHandle Engine::ScheduleAt(TimePoint when, std::function<void()> fn) {

@@ -3,6 +3,7 @@
 #include "src/base/log.h"
 #include "src/base/strings.h"
 #include "src/metrics/metrics.h"
+#include "src/obs/obs.h"
 #include "src/trace/trace.h"
 
 namespace toolstack {
@@ -150,9 +151,15 @@ sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::Create(sim::ExecCtx ctx, VmCon
     ctx = ctx.OnTrack(tracer.NewTrack(row));
   }
   trace::Span create_span(ctx.track, "vm.create");
+  // Join the caller's causal flow (cluster Deploy, NodeApi job): this
+  // create's row becomes one step of the operation's arc.
+  tracer.Flow(ctx.track, "vm.create", ctx.op_root);
+  const obs::OpRef op{ctx.op, ctx.op_root, 0};
   // Fault checkpoint (entry): injected transient faults and node death are
   // taken before any state is built, so there is nothing to roll back.
   if (env_.faults != nullptr && env_.faults->ShouldFailCreate()) {
+    obs::FlightRecorder::Get().Record(ctx.node, op, "toolstack", "vm.create.fault",
+                                      false);
     co_return lv::Err(lv::ErrorCode::kUnavailable,
                       env_.faults->node_crashed ? "node crashed"
                                                 : "injected transient create fault");
@@ -188,6 +195,8 @@ sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::Create(sim::ExecCtx ctx, VmCon
     (void)co_await DestroyDevices(ctx, shell->domid, config);
     (void)co_await env_.hv->DomainDestroy(ctx, shell->domid);
     breakdown_ = bd;
+    obs::FlightRecorder::Get().Record(ctx.node, op, "toolstack", "vm.rollback", false,
+                                      shell->domid);
     co_return lv::Err(lv::ErrorCode::kUnavailable, "node crashed during create");
   }
 
@@ -204,6 +213,8 @@ sim::Co<lv::Result<hv::DomainId>> ChaosToolstack::Create(sim::ExecCtx ctx, VmCon
     (void)co_await DestroyDevices(ctx, shell->domid, config);
     (void)co_await env_.hv->DomainDestroy(ctx, shell->domid);
     breakdown_ = bd;
+    obs::FlightRecorder::Get().Record(ctx.node, op, "toolstack", "vm.rollback", false,
+                                      shell->domid);
     co_return exec.error();
   }
   co_await BootGuest(ctx, *shell, config, /*resume=*/false);
@@ -237,6 +248,7 @@ sim::Co<lv::Status> ChaosToolstack::DestroyDevices(sim::ExecCtx ctx, hv::DomainI
 
 sim::Co<lv::Status> ChaosToolstack::Destroy(sim::ExecCtx ctx, hv::DomainId domid) {
   trace::Span span(ctx.track, "vm.destroy");
+  trace::Tracer::Get().Flow(ctx.track, "vm.destroy", ctx.op_root);
   auto it = vms_.find(domid);
   if (it == vms_.end()) {
     co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");

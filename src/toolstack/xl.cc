@@ -3,6 +3,7 @@
 #include "src/base/log.h"
 #include "src/base/strings.h"
 #include "src/metrics/metrics.h"
+#include "src/obs/obs.h"
 #include "src/trace/trace.h"
 
 namespace toolstack {
@@ -109,9 +110,14 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
     ctx = ctx.OnTrack(tracer.NewTrack(row));
   }
   trace::Span create_span(ctx.track, "vm.create");
+  // Join the caller's causal flow so this create renders as one step of the
+  // operation's arc across tracks.
+  tracer.Flow(ctx.track, "vm.create", ctx.op_root);
   // Fault checkpoint (entry): same contract as the chaos toolstack — injected
   // faults abort before any state exists.
   if (env_.faults != nullptr && env_.faults->ShouldFailCreate()) {
+    obs::FlightRecorder::Get().Record(ctx.node, obs::OpRef{ctx.op, ctx.op_root, 0},
+                                      "toolstack", "vm.create.fault", false);
     co_return lv::Err(lv::ErrorCode::kUnavailable,
                       env_.faults->node_crashed ? "node crashed"
                                                 : "injected transient create fault");
@@ -228,6 +234,7 @@ sim::Co<lv::Result<hv::DomainId>> XlToolstack::Create(sim::ExecCtx ctx, VmConfig
 
 sim::Co<lv::Status> XlToolstack::Destroy(sim::ExecCtx ctx, hv::DomainId domid) {
   trace::Span span(ctx.track, "vm.destroy");
+  trace::Tracer::Get().Flow(ctx.track, "vm.destroy", ctx.op_root);
   auto it = vms_.find(domid);
   if (it == vms_.end()) {
     co_return lv::Err(lv::ErrorCode::kNotFound, "unknown VM");

@@ -1,6 +1,7 @@
 #include "src/trace/export.h"
 
 #include <fstream>
+#include <map>
 #include <ostream>
 
 #include "src/base/strings.h"
@@ -56,6 +57,17 @@ void WriteChromeTrace(const Tracer& tracer, std::ostream& out) {
                          "\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%zu}}",
                          tid, tid);
   }
+  // Flow phases are positional: the first event of an id starts the flow
+  // ("s"), the last finishes it ("f", binding to the enclosing slice), and
+  // everything between is a step ("t"). Ids with fewer than two events are
+  // skipped entirely so the file never contains a dangling flow.
+  std::map<int64_t, int64_t> flow_counts;
+  for (const Event& ev : tracer.events()) {
+    if (ev.type == EventType::kFlow) {
+      ++flow_counts[ev.flow];
+    }
+  }
+  std::map<int64_t, int64_t> flow_seen;
   for (const Event& ev : tracer.events()) {
     switch (ev.type) {
       case EventType::kBegin:
@@ -79,6 +91,22 @@ void WriteChromeTrace(const Tracer& tracer, std::ostream& out) {
                              "\"name\":\"%s\",\"s\":\"t\"}",
                              ev.track, ToUs(ev.ts), JsonEscape(ev.name).c_str());
         break;
+      case EventType::kFlow: {
+        int64_t total = flow_counts[ev.flow];
+        if (total < 2) {
+          break;
+        }
+        int64_t index = flow_seen[ev.flow]++;
+        const char* ph = index == 0 ? "s" : (index == total - 1 ? "f" : "t");
+        // "bp":"e" binds the finish to the enclosing slice, matching how
+        // the start/step events attach.
+        out << lv::StrFormat(",\n{\"ph\":\"%s\",\"cat\":\"op\",\"id\":%lld,"
+                             "\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s\"%s}",
+                             ph, (long long)ev.flow, ev.track, ToUs(ev.ts),
+                             JsonEscape(ev.name).c_str(),
+                             ph[0] == 'f' ? ",\"bp\":\"e\"" : "");
+        break;
+      }
     }
   }
   out << "\n]}\n";

@@ -51,6 +51,16 @@ void Tracer::Instant(TrackId track, std::string name) {
   events_.push_back(Event{EventType::kInstant, track, Now(), std::move(name), 0.0});
 }
 
+void Tracer::Flow(TrackId track, std::string name, int64_t id) {
+  if (!enabled_ || id == 0) {
+    return;
+  }
+  if (track < 0 || static_cast<size_t>(track) >= open_.size()) {
+    track = kHostTrack;
+  }
+  events_.push_back(Event{EventType::kFlow, track, Now(), std::move(name), 0.0, id});
+}
+
 void Tracer::Count(const std::string& name, double delta) {
   if (!enabled_) {
     return;

@@ -50,7 +50,7 @@ namespace trace {
 using TrackId = int32_t;
 inline constexpr TrackId kHostTrack = 0;
 
-enum class EventType : uint8_t { kBegin, kEnd, kCounter, kInstant };
+enum class EventType : uint8_t { kBegin, kEnd, kCounter, kInstant, kFlow };
 
 struct Event {
   EventType type = EventType::kInstant;
@@ -58,6 +58,7 @@ struct Event {
   lv::TimePoint ts;
   std::string name;
   double value = 0.0;  // Running total at ts (kCounter only).
+  int64_t flow = 0;    // Flow id binding causally-linked events (kFlow only).
 };
 
 // Aggregate over all closed spans with one name (see Tracer::SpanStats).
@@ -110,6 +111,12 @@ class Tracer {
   // so RAII guards opened before Disable() stay balanced.
   void EndSpan(TrackId track);
   void Instant(TrackId track, std::string name);
+  // Records a step of flow `id` on `track`. Events sharing an id are
+  // exported as one Chrome trace_event flow (a connected arc across
+  // tracks); src/obs uses the causal root OpId as the id, so one cluster
+  // Deploy — creates, evacuation, re-create on another node — renders as a
+  // single arc.
+  void Flow(TrackId track, std::string name, int64_t id);
   // Adds `delta` to the named counter and records the new running total.
   void Count(const std::string& name, double delta);
 
