@@ -24,6 +24,8 @@ const char* ErrorCodeName(ErrorCode code) {
       return "ABORTED";
     case ErrorCode::kTimeout:
       return "TIMEOUT";
+    case ErrorCode::kQuotaExceeded:
+      return "QUOTA_EXCEEDED";
     case ErrorCode::kInternal:
       return "INTERNAL";
   }

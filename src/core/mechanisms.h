@@ -4,6 +4,8 @@
 
 #include <string>
 
+#include "src/xenstore/policy.h"
+
 namespace lightvm {
 
 enum class ToolstackKind { kXl, kChaos };
@@ -15,6 +17,11 @@ struct Mechanisms {
   // §9 extension (not in the paper's evaluation): SnowFlock-style page
   // sharing between VMs created from the same image flavor.
   bool page_sharing = false;
+  // Which store implementation the host's xenstored runs (policy.h). The
+  // paper presets stay on kLegacy — figures 4/9 depend on the faithful O(n)
+  // behaviour; fleet-scale runs opt into kIndexed via the scenario spec's
+  // `xenstore_policy` field. Ignored when the preset has no store.
+  xs::StorePolicy xs_policy = xs::StorePolicy::kLegacy;
 
   // The five configurations the paper evaluates.
   static Mechanisms Xl() { return {ToolstackKind::kXl, false, false, false}; }

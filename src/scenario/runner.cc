@@ -231,6 +231,7 @@ class Runner {
       return mechanisms.error();
     }
     mechanisms_ = *mechanisms;
+    mechanisms_.xs_policy = spec_.xenstore_policy;
 
     const bool tracing = !options_.trace_out.empty();
     if (tracing) {
@@ -248,10 +249,17 @@ class Runner {
     }
     out_ << "\n";
     out_ << lv::StrFormat(
-        "# seed=%llu mechanisms=%s workload=%s host=%s nodes=%d\n",
+        "# seed=%llu mechanisms=%s workload=%s host=%s nodes=%d",
         (unsigned long long)spec_.seed, spec_.mechanisms.c_str(),
         WorkloadKindName(spec_.workload.kind), spec_.topology.host.preset.c_str(),
         spec_.topology.nodes);
+    // Only annotate the non-default policy: default-policy stdout must stay
+    // byte-identical with the pre-StorePolicy baselines.
+    if (spec_.xenstore_policy != xs::StorePolicy::kLegacy) {
+      out_ << lv::StrFormat(" xenstore_policy=%s",
+                            xs::StorePolicyName(spec_.xenstore_policy));
+    }
+    out_ << "\n";
 
     lv::Status status = lv::Status::Ok();
     switch (spec_.workload.kind) {

@@ -622,6 +622,13 @@ lv::Result<Spec> ParseSpec(std::string_view text) {
       spec.seed = static_cast<uint64_t>(seed);
     } else if (m.first == "mechanisms") {
       LV_SPEC_ASSIGN(spec.mechanisms, WantString(context, m));
+    } else if (m.first == "xenstore_policy") {
+      std::string policy;
+      LV_SPEC_ASSIGN(policy, WantString(context, m));
+      if (!xs::StorePolicyFromName(policy, &spec.xenstore_policy)) {
+        return BadField(context, "xenstore_policy",
+                        "unknown policy '" + policy + "' (want legacy or indexed)");
+      }
     } else if (m.first == "topology") {
       auto ok = WantObject(context, m);
       if (!ok.ok()) {
@@ -701,6 +708,14 @@ lv::Result<Spec> ParseSpec(std::string_view text) {
   auto mechanisms = MechanismsByName(spec.mechanisms);
   if (!mechanisms.ok()) {
     return mechanisms.error();
+  }
+  const bool has_store =
+      mechanisms->toolstack == lightvm::ToolstackKind::kXl || !mechanisms->noxs;
+  if (spec.xenstore_policy != xs::StorePolicy::kLegacy && !has_store) {
+    return BadField(context, "xenstore_policy",
+                    "mechanisms preset '" + spec.mechanisms +
+                        "' runs no xenstored (noxs); xenstore_policy does not "
+                        "apply");
   }
   if (spec.shell_pool.has_value() && !mechanisms->split) {
     return BadField(context, "shell_pool",

@@ -30,6 +30,7 @@
 #include "src/core/mechanisms.h"
 #include "src/faults/plan.h"
 #include "src/obs/slo.h"
+#include "src/xenstore/policy.h"
 
 namespace scenario {
 
@@ -116,6 +117,10 @@ struct Spec {
   uint64_t seed = 1;
   std::string mechanisms = "lightvm";  // xl | chaos-xs | chaos-xs-split |
                                        // chaos-noxs | lightvm | lightvm-shared
+  // Store implementation for presets that run a xenstored: "legacy" keeps
+  // the faithful O(n) paper behaviour (default), "indexed" opts into the
+  // fast path. Rejected for storeless presets.
+  xs::StorePolicy xenstore_policy = xs::StorePolicy::kLegacy;
   TopologyConfig topology;
   std::optional<ShellPoolConfig> shell_pool;
   WorkloadConfig workload;

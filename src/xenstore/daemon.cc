@@ -5,6 +5,7 @@
 #include "src/base/log.h"
 #include "src/base/strings.h"
 #include "src/metrics/metrics.h"
+#include "src/obs/obs.h"
 #include "src/trace/trace.h"
 
 namespace xs {
@@ -428,6 +429,17 @@ sim::Co<void> Daemon::Process(sim::ExecCtx ctx, Request req) {
     case OpType::kRestart:
     case OpType::kStop:
       LV_UNREACHABLE();  // Handled in Run(), never dispatched here.
+  }
+
+  // Quota rejections are worth a post-mortem breadcrumb: which domain hit
+  // its node budget, and on which verb.
+  if (resp.code == lv::ErrorCode::kQuotaExceeded) {
+    ++stats_.quota_rejects;
+    static metrics::Counter& quota_rejects =
+        metrics::GetCounter("xenstore.daemon.quota_rejects");
+    quota_rejects.Inc();
+    obs::FlightRecorder::Get().Record(obs_node_, {}, "xenstore", "quota.reject",
+                                      false, static_cast<int64_t>(req.domid));
   }
 
   // Deliver fired watches (one message + interrupt per event).

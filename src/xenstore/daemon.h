@@ -73,6 +73,7 @@ class Daemon {
     int64_t rotations = 0;
     int64_t watch_events = 0;
     int64_t restarts = 0;
+    int64_t quota_rejects = 0;
   };
 
   Daemon(sim::Engine* engine, Costs costs = Costs());
@@ -103,6 +104,9 @@ class Daemon {
 
   Store& store() { return store_; }
   const Stats& stats() const { return stats_; }
+  // Which node's flight-recorder ring daemon events (quota rejections) land
+  // in; single-host runs keep the default 0.
+  void set_obs_node(int node) { obs_node_ = node; }
   const Costs& costs() const { return costs_; }
   // Cost-model override hook for ablation studies.
   Costs* mutable_costs() { return &costs_; }
@@ -127,6 +131,7 @@ class Daemon {
   ClientId next_client_ = 1;
   int64_t log_lines_ = 0;
   bool running_ = false;
+  int obs_node_ = 0;
   Stats stats_;
   // Owner-held loop frame (own-and-drain teardown, see Stop()). Declared last
   // so the frame dies before any member it references.

@@ -1,0 +1,35 @@
+#include "src/xenstore/policy.h"
+
+namespace xs {
+
+namespace {
+thread_local StorePolicy current_policy = StorePolicy::kLegacy;
+}  // namespace
+
+const char* StorePolicyName(StorePolicy policy) {
+  switch (policy) {
+    case StorePolicy::kLegacy:
+      return "legacy";
+    case StorePolicy::kIndexed:
+      return "indexed";
+  }
+  return "?";
+}
+
+bool StorePolicyFromName(const std::string& name, StorePolicy* out) {
+  if (name == "legacy") {
+    *out = StorePolicy::kLegacy;
+    return true;
+  }
+  if (name == "indexed") {
+    *out = StorePolicy::kIndexed;
+    return true;
+  }
+  return false;
+}
+
+StorePolicy CurrentStorePolicy() { return current_policy; }
+
+void SetCurrentStorePolicy(StorePolicy policy) { current_policy = policy; }
+
+}  // namespace xs

@@ -1,12 +1,13 @@
 #include "src/xenstore/store.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "src/base/strings.h"
 
 namespace xs {
 
-Store::Store() = default;
+Store::Store(StorePolicy policy) : policy_(policy) {}
 
 std::string Store::Canon(const std::string& path) {
   return lv::Join(lv::Split(path, '/'), '/');
@@ -21,13 +22,85 @@ bool Store::MayMutate(hv::DomainId domid, const std::string& canon) {
                           canon[own.size()] == '/');
 }
 
+// --- Index bookkeeping -------------------------------------------------------
+// Maintained under both policies so a store can serve as the differential
+// reference for the other; pure bookkeeping that never touches the effort
+// counters or the generation counter, keeping legacy runs byte-identical.
+
+bool Store::IsDomainNamePath(const std::string& canon) {
+  constexpr std::string_view kPrefix = "local/domain/";
+  constexpr std::string_view kSuffix = "/name";
+  if (canon.size() <= kPrefix.size() + kSuffix.size()) {
+    return false;
+  }
+  if (canon.compare(0, kPrefix.size(), kPrefix) != 0 ||
+      canon.compare(canon.size() - kSuffix.size(), kSuffix.size(), kSuffix) != 0) {
+    return false;
+  }
+  // Exactly one segment (the domid) between prefix and suffix.
+  std::string_view mid(canon.data() + kPrefix.size(),
+                       canon.size() - kPrefix.size() - kSuffix.size());
+  return !mid.empty() && mid.find('/') == std::string_view::npos;
+}
+
+void Store::IndexName(const std::string& value, int64_t delta) {
+  int64_t& count = name_index_[value];
+  count += delta;
+  if (count <= 0) {
+    name_index_.erase(value);
+  }
+}
+
+void Store::RegisterNode(const std::string& canon, Node* node) {
+  path_index_[canon] = node;
+  ++node_count_;
+  ++owner_nodes_[node->owner];
+  if (IsDomainNamePath(canon)) {
+    IndexName(node->value, +1);
+  }
+}
+
+void Store::UnregisterSubtree(const std::string& canon, Node* node) {
+  for (auto& [name, child] : node->children) {
+    UnregisterSubtree(canon + "/" + name, child.get());
+  }
+  path_index_.erase(canon);
+  --node_count_;
+  auto it = owner_nodes_.find(node->owner);
+  if (it != owner_nodes_.end() && --it->second <= 0) {
+    owner_nodes_.erase(it);
+  }
+  if (IsDomainNamePath(canon)) {
+    IndexName(node->value, -1);
+  }
+}
+
+void Store::SetNodeValue(const std::string& canon, Node* node, const std::string& value) {
+  if (IsDomainNamePath(canon)) {
+    IndexName(node->value, -1);
+    IndexName(value, +1);
+  }
+  node->value = value;
+}
+
+int64_t Store::owner_nodes(hv::DomainId domid) const {
+  auto it = owner_nodes_.find(domid);
+  return it == owner_nodes_.end() ? 0 : it->second;
+}
+
+// --- Tree access -------------------------------------------------------------
+
 Store::Node* Store::Walk(const std::string& canon, bool create, hv::DomainId owner) {
   Node* node = &root_;
   if (canon.empty()) {
     return node;
   }
+  std::string prefix;
   for (const std::string& seg : lv::Split(canon, '/')) {
     ++effort_.nodes_visited;
+    if (create) {
+      prefix = prefix.empty() ? seg : prefix + "/" + seg;
+    }
     auto it = node->children.find(seg);
     if (it == node->children.end()) {
       if (!create) {
@@ -36,10 +109,23 @@ Store::Node* Store::Walk(const std::string& canon, bool create, hv::DomainId own
       auto child = std::make_unique<Node>();
       child->owner = owner;
       it = node->children.emplace(seg, std::move(child)).first;
+      RegisterNode(prefix, it->second.get());
     }
     node = it->second.get();
   }
   return node;
+}
+
+Store::Node* Store::Lookup(const std::string& canon) {
+  if (policy_ == StorePolicy::kIndexed) {
+    if (canon.empty()) {
+      return &root_;
+    }
+    ++effort_.nodes_visited;
+    auto it = path_index_.find(canon);
+    return it == path_index_.end() ? nullptr : it->second;
+  }
+  return Walk(canon, /*create=*/false, hv::kDom0);
 }
 
 void Store::BumpGen(const std::string& canon) {
@@ -57,6 +143,37 @@ uint64_t Store::PathGen(const std::string& canon) const {
 }
 
 void Store::MatchWatches(const std::string& canon, std::vector<WatchHit>* hits) {
+  if (policy_ == StorePolicy::kIndexed) {
+    // One bucket probe per ancestor prefix (including the path itself and
+    // the match-all "" prefix) instead of a scan over every registration.
+    // Matches are re-sorted by registration seq so the hit order is
+    // byte-identical to the legacy scan.
+    std::vector<const Watch*> matched;
+    std::string prefix = canon;
+    while (true) {
+      ++effort_.watch_checks;
+      auto it = watch_index_.find(prefix);
+      if (it != watch_index_.end()) {
+        for (const Watch& w : it->second) {
+          matched.push_back(&w);
+        }
+      }
+      if (prefix.empty()) {
+        break;
+      }
+      size_t slash = prefix.rfind('/');
+      prefix = slash == std::string::npos ? std::string() : prefix.substr(0, slash);
+    }
+    std::sort(matched.begin(), matched.end(),
+              [](const Watch* a, const Watch* b) { return a->seq < b->seq; });
+    for (const Watch* w : matched) {
+      ++effort_.watches_fired;
+      if (hits != nullptr) {
+        hits->push_back(WatchHit{w->client, w->path, w->token, canon});
+      }
+    }
+    return;
+  }
   // oxenstored checks the fired path against every registered watch.
   for (const Watch& w : watches_) {
     ++effort_.watch_checks;
@@ -72,6 +189,81 @@ void Store::MatchWatches(const std::string& canon, std::vector<WatchHit>* hits) 
   }
 }
 
+// --- Quota enforcement -------------------------------------------------------
+
+int64_t Store::CountMissingNodes(const std::string& canon,
+                                 std::map<std::string, bool>* virtual_nodes) const {
+  if (canon.empty()) {
+    return 0;
+  }
+  const Node* node = &root_;
+  int64_t missing = 0;
+  std::string prefix;
+  for (const std::string& seg : lv::Split(canon, '/')) {
+    prefix = prefix.empty() ? seg : prefix + "/" + seg;
+    if (node != nullptr) {
+      auto it = node->children.find(seg);
+      if (it != node->children.end()) {
+        node = it->second.get();
+        continue;
+      }
+      node = nullptr;
+    }
+    if (virtual_nodes != nullptr) {
+      if (virtual_nodes->count(prefix) == 0) {
+        (*virtual_nodes)[prefix] = true;
+        ++missing;
+      }
+    } else {
+      ++missing;
+    }
+  }
+  return missing;
+}
+
+lv::Status Store::CheckQuota(hv::DomainId owner, int64_t new_nodes) const {
+  if (node_quota_ <= 0 || owner == hv::kDom0 || new_nodes == 0) {
+    return lv::Status::Ok();
+  }
+  int64_t current = owner_nodes(owner);
+  if (current + new_nodes > node_quota_) {
+    return lv::Err(lv::ErrorCode::kQuotaExceeded,
+                   lv::StrFormat("dom%lld node quota exceeded (%lld owned + %lld new > %lld)",
+                                 (long long)owner, (long long)current,
+                                 (long long)new_nodes, (long long)node_quota_));
+  }
+  return lv::Status::Ok();
+}
+
+lv::Status Store::PrecheckTxnQuota(const Txn& t) const {
+  if (node_quota_ <= 0) {
+    return lv::Status::Ok();
+  }
+  // Dry-run: count the nodes each buffered write would create given the tree
+  // plus everything earlier writes in this transaction imply. Removals are
+  // not credited back (conservative: a txn must fit its peak footprint).
+  std::map<hv::DomainId, int64_t> pending;
+  std::map<std::string, bool> virtual_nodes;
+  for (const TxnWrite& w : t.writes) {
+    if (!w.value.has_value()) {
+      continue;
+    }
+    int64_t missing = CountMissingNodes(w.path, &virtual_nodes);
+    if (missing > 0 && w.owner != hv::kDom0) {
+      pending[w.owner] += missing;
+    }
+  }
+  for (const auto& [owner, n] : pending) {
+    lv::Status quota = CheckQuota(owner, n);
+    if (!quota.ok()) {
+      return quota;
+    }
+  }
+  return lv::Status::Ok();
+}
+
+// --- Core operations ---------------------------------------------------------
+
 lv::Result<std::string> Store::Read(const std::string& path, TxnId txn) {
   effort_.Reset();
   std::string canon = Canon(path);
@@ -83,16 +275,16 @@ lv::Result<std::string> Store::Read(const std::string& path, TxnId txn) {
     it->second.reads.push_back(canon);
     // Read-your-writes within the transaction.
     for (auto w = it->second.writes.rbegin(); w != it->second.writes.rend(); ++w) {
-      if (w->first == canon) {
-        if (!w->second.has_value()) {
+      if (w->path == canon) {
+        if (!w->value.has_value()) {
           return lv::Err(lv::ErrorCode::kNotFound, path);
         }
-        effort_.value_bytes += static_cast<int64_t>(w->second->size());
-        return *w->second;
+        effort_.value_bytes += static_cast<int64_t>(w->value->size());
+        return *w->value;
       }
     }
   }
-  Node* node = Walk(canon, /*create=*/false, hv::kDom0);
+  Node* node = Lookup(canon);
   if (node == nullptr) {
     return lv::Err(lv::ErrorCode::kNotFound, path);
   }
@@ -103,8 +295,17 @@ lv::Result<std::string> Store::Read(const std::string& path, TxnId txn) {
 lv::Status Store::ApplyWrite(const std::string& canon, const std::optional<std::string>& value,
                              hv::DomainId owner, std::vector<WatchHit>* hits) {
   if (value.has_value()) {
-    Node* node = Walk(canon, /*create=*/true, owner);
-    node->value = *value;
+    Node* node = nullptr;
+    if (policy_ == StorePolicy::kIndexed && !canon.empty()) {
+      ++effort_.nodes_visited;
+      auto it = path_index_.find(canon);
+      node = it == path_index_.end() ? nullptr : it->second;
+    }
+    if (node == nullptr) {
+      // Creation (or legacy): walk, charging per segment.
+      node = Walk(canon, /*create=*/true, owner);
+    }
+    SetNodeValue(canon, node, *value);
     effort_.value_bytes += static_cast<int64_t>(value->size());
   } else {
     // Removal.
@@ -112,10 +313,31 @@ lv::Status Store::ApplyWrite(const std::string& canon, const std::optional<std::
     std::string parent_path =
         slash == std::string::npos ? std::string() : canon.substr(0, slash);
     std::string leaf = slash == std::string::npos ? canon : canon.substr(slash + 1);
-    Node* parent = Walk(parent_path, /*create=*/false, owner);
-    if (parent == nullptr || parent->children.erase(leaf) == 0) {
+    Node* parent = nullptr;
+    if (policy_ == StorePolicy::kIndexed) {
+      ++effort_.nodes_visited;
+      if (!canon.empty() && path_index_.count(canon) == 0) {
+        return lv::Err(lv::ErrorCode::kNotFound, canon);
+      }
+      if (parent_path.empty()) {
+        parent = &root_;
+      } else {
+        ++effort_.nodes_visited;
+        auto it = path_index_.find(parent_path);
+        parent = it == path_index_.end() ? nullptr : it->second;
+      }
+    } else {
+      parent = Walk(parent_path, /*create=*/false, owner);
+    }
+    if (parent == nullptr) {
       return lv::Err(lv::ErrorCode::kNotFound, canon);
     }
+    auto child = parent->children.find(leaf);
+    if (child == parent->children.end()) {
+      return lv::Err(lv::ErrorCode::kNotFound, canon);
+    }
+    UnregisterSubtree(canon, child->second.get());
+    parent->children.erase(child);
   }
   BumpGen(canon);
   MatchWatches(canon, hits);
@@ -136,9 +358,15 @@ lv::Status Store::Write(const std::string& path, const std::string& value,
     if (it == txns_.end()) {
       return lv::Err(lv::ErrorCode::kInvalidArgument, "unknown transaction");
     }
-    it->second.writes.emplace_back(canon, value);
+    it->second.writes.push_back(TxnWrite{canon, value, owner});
     effort_.value_bytes += static_cast<int64_t>(value.size());
     return lv::Status::Ok();
+  }
+  if (node_quota_ > 0 && owner != hv::kDom0) {
+    lv::Status quota = CheckQuota(owner, CountMissingNodes(canon, nullptr));
+    if (!quota.ok()) {
+      return quota;
+    }
   }
   return ApplyWrite(canon, value, owner, hits);
 }
@@ -157,7 +385,7 @@ lv::Status Store::Rm(const std::string& path, TxnId txn, std::vector<WatchHit>* 
     if (it == txns_.end()) {
       return lv::Err(lv::ErrorCode::kInvalidArgument, "unknown transaction");
     }
-    it->second.writes.emplace_back(canon, std::nullopt);
+    it->second.writes.push_back(TxnWrite{canon, std::nullopt, requester});
     return lv::Status::Ok();
   }
   return ApplyWrite(canon, std::nullopt, hv::kDom0, hits);
@@ -172,7 +400,7 @@ lv::Result<std::vector<std::string>> Store::Directory(const std::string& path, T
       it->second.reads.push_back(canon);
     }
   }
-  Node* node = Walk(canon, /*create=*/false, hv::kDom0);
+  Node* node = Lookup(canon);
   if (node == nullptr) {
     return lv::Err(lv::ErrorCode::kNotFound, path);
   }
@@ -187,8 +415,10 @@ lv::Result<std::vector<std::string>> Store::Directory(const std::string& path, T
 
 bool Store::Exists(const std::string& path) {
   effort_.Reset();
-  return Walk(Canon(path), /*create=*/false, hv::kDom0) != nullptr;
+  return Lookup(Canon(path)) != nullptr;
 }
+
+// --- Transactions ------------------------------------------------------------
 
 TxnId Store::TxBegin() {
   effort_.Reset();
@@ -211,31 +441,101 @@ lv::Status Store::TxCommit(TxnId txn, bool abort, std::vector<WatchHit>* hits) {
     return lv::Status::Ok();
   }
   // Conflict detection: anything we read or wrote that someone else touched
-  // since the transaction began forces a retry (EAGAIN in real Xen).
-  for (const std::string& p : t.reads) {
-    ++effort_.nodes_visited;
-    if (PathGen(p) > t.start_gen) {
-      return lv::Err(lv::ErrorCode::kConflict, "transaction conflict on " + p);
+  // since the transaction began forces a retry (EAGAIN in real Xen). The
+  // indexed path checks each distinct path once (the predicate is per-path
+  // idempotent, so the first conflicting path — and thus the error — is
+  // identical to the legacy per-entry scan).
+  if (policy_ == StorePolicy::kIndexed) {
+    std::unordered_set<std::string> checked;
+    for (const std::string& p : t.reads) {
+      if (!checked.insert(p).second) {
+        continue;
+      }
+      ++effort_.nodes_visited;
+      if (PathGen(p) > t.start_gen) {
+        return lv::Err(lv::ErrorCode::kConflict, "transaction conflict on " + p);
+      }
+    }
+    for (const TxnWrite& w : t.writes) {
+      if (!checked.insert(w.path).second) {
+        continue;
+      }
+      ++effort_.nodes_visited;
+      if (PathGen(w.path) > t.start_gen) {
+        return lv::Err(lv::ErrorCode::kConflict, "transaction conflict on " + w.path);
+      }
+    }
+  } else {
+    for (const std::string& p : t.reads) {
+      ++effort_.nodes_visited;
+      if (PathGen(p) > t.start_gen) {
+        return lv::Err(lv::ErrorCode::kConflict, "transaction conflict on " + p);
+      }
+    }
+    for (const TxnWrite& w : t.writes) {
+      ++effort_.nodes_visited;
+      if (PathGen(w.path) > t.start_gen) {
+        return lv::Err(lv::ErrorCode::kConflict, "transaction conflict on " + w.path);
+      }
     }
   }
-  for (const auto& [p, v] : t.writes) {
-    ++effort_.nodes_visited;
-    if (PathGen(p) > t.start_gen) {
-      return lv::Err(lv::ErrorCode::kConflict, "transaction conflict on " + p);
+  // Quota pre-pass before anything is applied: a rejected commit leaves the
+  // store untouched (clean rollback) and the transaction discarded.
+  lv::Status quota = PrecheckTxnQuota(t);
+  if (!quota.ok()) {
+    return quota;
+  }
+  // Batched commit (indexed, pure-write transactions): a path written more
+  // than once mutates the tree only at its last occurrence; shadowed writes
+  // still bump the generation and fire watches in buffered order, so the
+  // observable hit sequence and conflict structure are identical to legacy —
+  // only the redundant tree walks and value copies are skipped. Any removal
+  // disables batching: rm erases a whole subtree, so write/rm/write to the
+  // same path is not last-write-wins.
+  bool batch = policy_ == StorePolicy::kIndexed;
+  for (const TxnWrite& w : t.writes) {
+    if (!w.value.has_value()) {
+      batch = false;
+      break;
     }
   }
-  for (const auto& [p, v] : t.writes) {
-    // Removal of a non-existent path inside a txn is tolerated (mirrors
-    // xenstore rm semantics when the whole subtree was created in-txn).
-    (void)ApplyWrite(p, v, t.owner, hits);
+  if (batch) {
+    std::unordered_map<std::string, size_t> last;
+    for (size_t i = 0; i < t.writes.size(); ++i) {
+      last[t.writes[i].path] = i;
+    }
+    for (size_t i = 0; i < t.writes.size(); ++i) {
+      const TxnWrite& w = t.writes[i];
+      // A shadowed write to an *existing* node only sets a value the last
+      // write overwrites anyway: keep its generation bump and watch hits,
+      // skip the tree walk and value copy. Writes that create nodes are
+      // never skipped, so creation (and its owner attribution) happens at
+      // exactly the same write as the unbatched apply.
+      if (last[w.path] != i && !w.path.empty() && path_index_.count(w.path) != 0) {
+        BumpGen(w.path);
+        MatchWatches(w.path, hits);
+        continue;
+      }
+      (void)ApplyWrite(w.path, w.value, w.owner, hits);
+    }
+  } else {
+    for (const TxnWrite& w : t.writes) {
+      // Removal of a non-existent path inside a txn is tolerated (mirrors
+      // xenstore rm semantics when the whole subtree was created in-txn).
+      (void)ApplyWrite(w.path, w.value, w.owner, hits);
+    }
   }
   return lv::Status::Ok();
 }
 
+// --- Watches -----------------------------------------------------------------
+
 WatchHit Store::AddWatch(ClientId client, const std::string& path, const std::string& token) {
   effort_.Reset();
   std::string canon = Canon(path);
-  watches_.push_back(Watch{client, canon, token});
+  Watch watch{client, canon, token, watch_seq_++};
+  watches_.push_back(watch);
+  watch_index_[canon].push_back(watch);
   // XenStore fires a watch immediately upon registration.
   return WatchHit{client, canon, token, canon};
 }
@@ -243,19 +543,33 @@ WatchHit Store::AddWatch(ClientId client, const std::string& path, const std::st
 void Store::RemoveWatch(ClientId client, const std::string& path, const std::string& token) {
   effort_.Reset();
   std::string canon = Canon(path);
-  watches_.erase(std::remove_if(watches_.begin(), watches_.end(),
-                                [&](const Watch& w) {
-                                  return w.client == client && w.path == canon &&
-                                         w.token == token;
-                                }),
+  auto matches = [&](const Watch& w) {
+    return w.client == client && w.path == canon && w.token == token;
+  };
+  watches_.erase(std::remove_if(watches_.begin(), watches_.end(), matches),
                  watches_.end());
+  auto bucket = watch_index_.find(canon);
+  if (bucket != watch_index_.end()) {
+    bucket->second.erase(
+        std::remove_if(bucket->second.begin(), bucket->second.end(), matches),
+        bucket->second.end());
+    if (bucket->second.empty()) {
+      watch_index_.erase(bucket);
+    }
+  }
 }
 
 void Store::RemoveClientWatches(ClientId client) {
   effort_.Reset();
-  watches_.erase(std::remove_if(watches_.begin(), watches_.end(),
-                                [&](const Watch& w) { return w.client == client; }),
+  auto matches = [&](const Watch& w) { return w.client == client; };
+  watches_.erase(std::remove_if(watches_.begin(), watches_.end(), matches),
                  watches_.end());
+  for (auto it = watch_index_.begin(); it != watch_index_.end();) {
+    it->second.erase(
+        std::remove_if(it->second.begin(), it->second.end(), matches),
+        it->second.end());
+    it = it->second.empty() ? watch_index_.erase(it) : std::next(it);
+  }
 }
 
 std::vector<WatchHit> Store::ReplayWatches() {
@@ -269,8 +583,19 @@ std::vector<WatchHit> Store::ReplayWatches() {
   return hits;
 }
 
+// --- Domain-name uniqueness --------------------------------------------------
+
 lv::Status Store::CheckUniqueName(const std::string& name) {
   effort_.Reset();
+  if (policy_ == StorePolicy::kIndexed) {
+    // One probe of the name index instead of the O(#domains) scan.
+    ++effort_.names_compared;
+    auto it = name_index_.find(name);
+    if (it != name_index_.end() && it->second > 0) {
+      return lv::Err(lv::ErrorCode::kAlreadyExists, "guest name in use: " + name);
+    }
+    return lv::Status::Ok();
+  }
   Node* domains = Walk("local/domain", /*create=*/false, hv::kDom0);
   if (domains == nullptr) {
     return lv::Status::Ok();

@@ -7,6 +7,17 @@
 // O(#watches) match scan, the O(#domains) unique-name check and the
 // O(#children) directory listing are the mechanisms behind the paper's
 // superlinear VM-creation times (§4.2).
+//
+// Two implementations live behind StorePolicy (policy.h): kLegacy charges
+// the faithful O(n) effort above; kIndexed answers the same queries through
+// a hash path index, per-prefix watch buckets and an O(1) name index, and
+// batches shadowed writes at transaction commit. The index structures are
+// maintained under both policies (pure bookkeeping: they never touch the
+// effort counters or the generation counter, so legacy runs stay
+// byte-identical) but only consulted — and only charged — on the indexed
+// path. Both policies must be observably equivalent: identical values,
+// errors, watch hits and counts; tests/property_test.cc enforces this with
+// a differential oracle.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +30,7 @@
 
 #include "src/base/result.h"
 #include "src/hv/types.h"
+#include "src/xenstore/policy.h"
 
 namespace xs {
 
@@ -48,7 +60,13 @@ struct WatchHit {
 
 class Store {
  public:
-  Store();
+  // Picks up the thread-local policy (policy.h) so the Daemon's embedded
+  // store can be policy-selected by whoever constructs the daemon without
+  // widening any signature on that path.
+  Store() : Store(CurrentStorePolicy()) {}
+  explicit Store(StorePolicy policy);
+
+  StorePolicy policy() const { return policy_; }
 
   // Effort counters for the most recent operation.
   const OpEffort& last_effort() const { return effort_; }
@@ -87,7 +105,9 @@ class Store {
 
   TxnId TxBegin();
   // abort=true discards. On success, buffered writes are applied atomically
-  // and their watch hits appended to `hits`.
+  // and their watch hits appended to `hits`. Under quotas a commit that would
+  // exceed a domain's node budget fails with QUOTA_EXCEEDED *before* applying
+  // anything — the store is untouched and the transaction discarded.
   lv::Status TxCommit(TxnId txn, bool abort, std::vector<WatchHit>* hits);
   int64_t open_txns() const { return static_cast<int64_t>(txns_.size()); }
 
@@ -106,9 +126,22 @@ class Store {
   std::vector<WatchHit> ReplayWatches();
 
   // --- Domain-name uniqueness (paper §4.2) -----------------------------------
-  // Scans every registered guest name under /local/domain/*/name and compares
-  // against `name`; O(#domains). Returns ALREADY_EXISTS on duplicate.
+  // Legacy: scans every registered guest name under /local/domain/*/name and
+  // compares against `name`; O(#domains). Indexed: one probe of the name
+  // index. Returns ALREADY_EXISTS on duplicate either way.
   lv::Status CheckUniqueName(const std::string& name);
+
+  // --- Quotas ----------------------------------------------------------------
+  // Per-domain node budget, enforced on node creation for guest-owned writes
+  // (Dom0 is exempt, as in real xenstored's quota knobs). 0 disables
+  // enforcement (the default; existing benches and figures are unaffected).
+  void set_node_quota(int64_t max_nodes_per_domain) { node_quota_ = max_nodes_per_domain; }
+  int64_t node_quota() const { return node_quota_; }
+  // Nodes currently owned by `domid` (quota accounting view).
+  int64_t owner_nodes(hv::DomainId domid) const;
+
+  // Total nodes in the tree, excluding the root. Maintained incrementally.
+  int64_t num_nodes() const { return node_count_; }
 
   uint64_t generation() const { return gen_; }
 
@@ -119,10 +152,18 @@ class Store {
     std::map<std::string, std::unique_ptr<Node>> children;
   };
 
+  // One buffered transaction mutation; nullopt value = removal. The owner is
+  // recorded per write so quota accounting at commit charges the domain that
+  // issued the write, not the committer.
+  struct TxnWrite {
+    std::string path;
+    std::optional<std::string> value;
+    hv::DomainId owner = hv::kDom0;
+  };
+
   struct Txn {
     uint64_t start_gen = 0;
-    // Buffered mutations in order; nullopt value = removal.
-    std::vector<std::pair<std::string, std::optional<std::string>>> writes;
+    std::vector<TxnWrite> writes;  // buffered mutations in order
     std::vector<std::string> reads;
     hv::DomainId owner = hv::kDom0;
   };
@@ -131,6 +172,10 @@ class Store {
     ClientId client = 0;
     std::string path;
     std::string token;
+    // Registration sequence number: the indexed fanout collects matches from
+    // per-prefix buckets and re-sorts by seq so hit order is byte-identical
+    // to the legacy registration-order scan.
+    int64_t seq = 0;
   };
 
   // Canonicalizes a path ("/a//b/" -> "a/b" as joined segments).
@@ -138,13 +183,40 @@ class Store {
   // May `domid` mutate `canon`?
   static bool MayMutate(hv::DomainId domid, const std::string& canon);
   Node* Walk(const std::string& canon, bool create, hv::DomainId owner);
+  // Policy-dispatched existing-node lookup: legacy walks (charging per
+  // segment), indexed probes the path index (charging one visit).
+  Node* Lookup(const std::string& canon);
   void BumpGen(const std::string& canon);
   uint64_t PathGen(const std::string& canon) const;
-  // Scans all watches for matches against a mutated path (O(#watches)).
+  // Scans all watches for matches against a mutated path. Legacy: linear
+  // O(#watches) scan. Indexed: one bucket probe per ancestor prefix.
   void MatchWatches(const std::string& canon, std::vector<WatchHit>* hits);
   lv::Status ApplyWrite(const std::string& canon, const std::optional<std::string>& value,
                         hv::DomainId owner, std::vector<WatchHit>* hits);
 
+  // --- Index bookkeeping (both policies; never touches effort counters) -----
+  // Registers a freshly created node with the path index, node/owner counts
+  // and (for local/domain/<id>/name paths) the name index.
+  void RegisterNode(const std::string& canon, Node* node);
+  // Unregisters `node` and its whole subtree ahead of removal.
+  void UnregisterSubtree(const std::string& canon, Node* node);
+  // Sets a node's value, keeping the name index in sync.
+  void SetNodeValue(const std::string& canon, Node* node, const std::string& value);
+  static bool IsDomainNamePath(const std::string& canon);
+  void IndexName(const std::string& value, int64_t delta);
+
+  // --- Quota enforcement -----------------------------------------------------
+  // Nodes a write to `canon` would create, given the current tree plus the
+  // paths in `virtual_nodes` (commit pre-pass); newly implied ancestors are
+  // added to `virtual_nodes` when non-null.
+  int64_t CountMissingNodes(const std::string& canon,
+                            std::map<std::string, bool>* virtual_nodes) const;
+  lv::Status CheckQuota(hv::DomainId owner, int64_t new_nodes) const;
+  // Dry-runs every buffered write's node creations against the quota before
+  // a commit applies anything, so rejection leaves the store untouched.
+  lv::Status PrecheckTxnQuota(const Txn& t) const;
+
+  StorePolicy policy_;
   Node root_;
   uint64_t gen_ = 1;
   std::unordered_map<std::string, uint64_t> path_gen_;
@@ -152,6 +224,19 @@ class Store {
   std::unordered_map<TxnId, Txn> txns_;
   TxnId next_txn_ = 1;
   OpEffort effort_;
+
+  // Index structures (see RegisterNode). path_index_ maps every canon path to
+  // its node; watch_index_ buckets watch copies by exact registered prefix;
+  // name_index_ refcounts the values of local/domain/<id>/name nodes.
+  std::unordered_map<std::string, Node*> path_index_;
+  std::unordered_map<std::string, std::vector<Watch>> watch_index_;
+  std::unordered_map<std::string, int64_t> name_index_;
+  int64_t watch_seq_ = 0;
+  int64_t node_count_ = 0;
+  // Deterministic iteration order matters: quota pre-pass failure messages
+  // must not depend on hash-map ordering.
+  std::map<hv::DomainId, int64_t> owner_nodes_;
+  int64_t node_quota_ = 0;  // 0 = unlimited
 };
 
 }  // namespace xs

@@ -15,6 +15,8 @@
 #include "src/sim/engine.h"
 #include "src/sim/run.h"
 #include "src/toolstack/config.h"
+#include "src/xenstore/policy.h"
+#include "src/xenstore/store.h"
 
 namespace {
 
@@ -251,6 +253,105 @@ TEST(Runner, DifferentSeedDiverges) {
     tables[seed - 1] = out.str();
   }
   EXPECT_NE(tables[0], tables[1]);
+}
+
+// --- Store policy plumbing and the byte-identity guard ----------------------
+// Figures 4/9 depend on the faithful O(n) legacy store; the indexed fast
+// path must stay strictly opt-in. These tests pin the default at every layer
+// and prove an explicit "legacy" field changes nothing, byte for byte.
+
+TEST(Spec, XenstorePolicyParsedAndValidated) {
+  auto spec = scenario::ParseSpec(R"({
+    "name": "p", "mechanisms": "chaos-xs", "xenstore_policy": "indexed",
+    "workload": { "kind": "sequential-boots",
+                  "guests": [ { "image": "daytime", "count": 1 } ] }
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.error().ToString();
+  EXPECT_EQ(spec->xenstore_policy, xs::StorePolicy::kIndexed);
+
+  auto unknown = scenario::ParseSpec(R"({
+    "name": "p", "mechanisms": "chaos-xs", "xenstore_policy": "btree",
+    "workload": { "kind": "sequential-boots",
+                  "guests": [ { "image": "daytime", "count": 1 } ] }
+  })");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.error().ToString().find("unknown policy 'btree'"),
+            std::string::npos)
+      << unknown.error().ToString();
+
+  // A storeless preset has no xenstored to index.
+  auto storeless = scenario::ParseSpec(R"({
+    "name": "p", "mechanisms": "lightvm", "xenstore_policy": "indexed",
+    "workload": { "kind": "sequential-boots",
+                  "guests": [ { "image": "daytime", "count": 1 } ] }
+  })");
+  ASSERT_FALSE(storeless.ok());
+  EXPECT_NE(storeless.error().ToString().find("no xenstored"), std::string::npos)
+      << storeless.error().ToString();
+}
+
+TEST(StorePolicyGuard, EveryDefaultIsLegacy) {
+  EXPECT_EQ(xs::CurrentStorePolicy(), xs::StorePolicy::kLegacy);
+  EXPECT_EQ(lightvm::Mechanisms{}.xs_policy, xs::StorePolicy::kLegacy);
+  EXPECT_EQ(lightvm::Mechanisms::Xl().xs_policy, xs::StorePolicy::kLegacy);
+  EXPECT_EQ(lightvm::Mechanisms::ChaosXs().xs_policy, xs::StorePolicy::kLegacy);
+  EXPECT_EQ(lightvm::Mechanisms::ChaosXsSplit().xs_policy, xs::StorePolicy::kLegacy);
+  EXPECT_EQ(lightvm::Mechanisms::LightVm().xs_policy, xs::StorePolicy::kLegacy);
+  EXPECT_EQ(xs::Store().policy(), xs::StorePolicy::kLegacy);
+  scenario::Spec spec;
+  EXPECT_EQ(spec.xenstore_policy, xs::StorePolicy::kLegacy);
+  // The scope restores the previous policy on exit.
+  {
+    xs::StorePolicyScope scope(xs::StorePolicy::kIndexed);
+    EXPECT_EQ(xs::CurrentStorePolicy(), xs::StorePolicy::kIndexed);
+    EXPECT_EQ(xs::Store().policy(), xs::StorePolicy::kIndexed);
+  }
+  EXPECT_EQ(xs::CurrentStorePolicy(), xs::StorePolicy::kLegacy);
+}
+
+TEST(Runner, ExplicitLegacyPolicyIsByteIdenticalAndIndexedIsFaster) {
+  const char* kTemplate = R"({
+    "name": "p", "mechanisms": "chaos-xs",%s
+    "host": { "preset": "xeon4" },
+    "workload": { "kind": "sequential-boots",
+                  "guests": [ { "series": "uni", "image": "daytime",
+                                "count": 40 } ] }
+  })";
+
+  auto run_once = [&](const char* policy_field, std::string* table,
+                      double* last_create_ms) {
+    char buf[512];
+    snprintf(buf, sizeof(buf), kTemplate, policy_field);
+    auto spec = scenario::ParseSpec(buf);
+    ASSERT_TRUE(spec.ok()) << spec.error().ToString();
+    std::ostringstream out;
+    auto result = scenario::Run(
+        *spec, {}, out,
+        [&](const std::string&,
+            const std::vector<std::pair<std::string, double>>& row) {
+          std::map<std::string, double> cols(row.begin(), row.end());
+          if (static_cast<int>(cols.at("n")) == 40) {
+            *last_create_ms = cols.at("create_ms");
+          }
+        });
+    ASSERT_TRUE(result.ok()) << result.error().ToString();
+    *table = out.str();
+  };
+
+  std::string implicit, legacy, indexed;
+  double implicit_ms = 0.0, legacy_ms = 0.0, indexed_ms = 0.0;
+  run_once("", &implicit, &implicit_ms);
+  run_once(" \"xenstore_policy\": \"legacy\",", &legacy, &legacy_ms);
+  run_once(" \"xenstore_policy\": \"indexed\",", &indexed, &indexed_ms);
+
+  // Spelling out the default changes nothing, byte for byte.
+  EXPECT_EQ(implicit, legacy);
+  EXPECT_EQ(implicit_ms, legacy_ms);
+  // The indexed run annotates its header and creates VMs faster.
+  EXPECT_NE(indexed, implicit);
+  EXPECT_NE(indexed.find("xenstore_policy=indexed"), std::string::npos);
+  EXPECT_EQ(implicit.find("xenstore_policy"), std::string::npos);
+  EXPECT_LT(indexed_ms, implicit_ms);
 }
 
 // --- Paper fidelity ---------------------------------------------------------

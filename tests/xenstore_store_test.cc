@@ -226,5 +226,174 @@ TEST(StoreTest, GenerationAdvancesOnMutation) {
   EXPECT_EQ(store.generation(), g1);  // Reads don't bump.
 }
 
+// --- Both policies: conflicts, self-fire, replay ordering, quotas ------------
+// The behaviours below must hold identically under the legacy scan store and
+// the indexed fast path (policy.h); the differential sweep in
+// tests/property_test.cc covers random sequences, these pin the named cases.
+
+class StorePolicyTest : public ::testing::TestWithParam<StorePolicy> {
+ protected:
+  Store store_{GetParam()};
+};
+
+TEST_P(StorePolicyTest, TxnConflictDetectedAndBufferDiscarded) {
+  (void)store_.Write("/shared", "0", hv::kDom0);
+  TxnId txn = store_.TxBegin();
+  (void)store_.Read("/shared", txn);
+  (void)store_.Write("/shared", "external", hv::kDom0);
+  (void)store_.Write("/shared", "mine", hv::kDom0, txn);
+  std::vector<WatchHit> hits;
+  EXPECT_EQ(store_.TxCommit(txn, false, &hits).code(), ErrorCode::kConflict);
+  EXPECT_EQ(*store_.Read("/shared"), "external");
+  EXPECT_EQ(store_.open_txns(), 0);
+}
+
+TEST_P(StorePolicyTest, WatchSelfFiresOnRegistration) {
+  WatchHit hit = store_.AddWatch(7, "/local/domain/9/device", "tok");
+  EXPECT_EQ(hit.client, 7);
+  EXPECT_EQ(hit.watch_path, "local/domain/9/device");
+  EXPECT_EQ(hit.fired_path, "local/domain/9/device");
+  EXPECT_EQ(hit.token, "tok");
+  EXPECT_EQ(store_.num_watches(), 1);
+}
+
+TEST_P(StorePolicyTest, ReplayWatchesPreservesRegistrationOrder) {
+  store_.AddWatch(1, "/a", "t1");
+  store_.AddWatch(2, "/b", "t2");
+  store_.AddWatch(3, "/a/x", "t3");
+  store_.RemoveWatch(2, "/b", "t2");  // A gap must not reorder survivors.
+  store_.AddWatch(4, "/c", "t4");
+  std::vector<WatchHit> replay = store_.ReplayWatches();
+  ASSERT_EQ(replay.size(), 3u);
+  EXPECT_EQ(replay[0].client, 1);
+  EXPECT_EQ(replay[1].client, 3);
+  EXPECT_EQ(replay[2].client, 4);
+  EXPECT_EQ(replay[2].fired_path, "c");
+}
+
+TEST_P(StorePolicyTest, OverlappingWatchesFireInRegistrationOrder) {
+  store_.AddWatch(2, "/local/domain/1", "outer");
+  store_.AddWatch(1, "/local/domain/1/device", "inner");
+  store_.AddWatch(3, "", "all");
+  std::vector<WatchHit> hits;
+  (void)store_.Write("/local/domain/1/device/vif/0", "x", hv::kDom0, kNoTxn, &hits);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].token, "outer");
+  EXPECT_EQ(hits[1].token, "inner");
+  EXPECT_EQ(hits[2].token, "all");
+}
+
+TEST_P(StorePolicyTest, TxnCommitFiresShadowedWritesInOrder) {
+  store_.AddWatch(1, "/t", "tok");
+  TxnId txn = store_.TxBegin();
+  (void)store_.Write("/t/a", "1", hv::kDom0, txn);
+  (void)store_.Write("/t/b", "2", hv::kDom0, txn);
+  (void)store_.Write("/t/a", "3", hv::kDom0, txn);  // shadows the first write
+  std::vector<WatchHit> hits;
+  ASSERT_TRUE(store_.TxCommit(txn, false, &hits).ok());
+  // Even when the indexed path batches the shadowed write, its watch hit and
+  // generation bump survive: a, b, a — exactly the unbatched sequence.
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].fired_path, "t/a");
+  EXPECT_EQ(hits[1].fired_path, "t/b");
+  EXPECT_EQ(hits[2].fired_path, "t/a");
+  EXPECT_EQ(*store_.Read("/t/a"), "3");
+}
+
+TEST_P(StorePolicyTest, NumNodesAndOwnerAccountingTrackTree) {
+  EXPECT_EQ(store_.num_nodes(), 0);
+  // Dom0 seeds the shared hierarchy (as the daemon does), so guest-owned
+  // accounting below is exact.
+  (void)store_.Write("/local/domain", "", hv::kDom0);
+  EXPECT_EQ(store_.num_nodes(), 2);
+  (void)store_.Write("/local/domain/5/data/x", "v", 5);
+  EXPECT_EQ(store_.num_nodes(), 5);  // + 5, data, x
+  EXPECT_EQ(store_.owner_nodes(5), 3);
+  (void)store_.Write("/local/domain/5/data/y", "v", 5);
+  EXPECT_EQ(store_.owner_nodes(5), 4);
+  EXPECT_TRUE(store_.Rm("/local/domain/5").ok());
+  EXPECT_EQ(store_.num_nodes(), 2);  // local, domain survive
+  EXPECT_EQ(store_.owner_nodes(5), 0);
+  EXPECT_EQ(store_.owner_nodes(hv::kDom0), 2);
+}
+
+TEST_P(StorePolicyTest, QuotaRejectsGuestCreationBeyondBudget) {
+  store_.set_node_quota(4);
+  // dom3's first write creates local, domain, 3, data, x — but only nodes
+  // count against dom3 as owner; all five are created by dom3 here.
+  lv::Status s = store_.Write("/local/domain/3/data/x", "v", 3);
+  EXPECT_EQ(s.code(), ErrorCode::kQuotaExceeded);
+  EXPECT_EQ(store_.num_nodes(), 0);  // Rejected before any node appeared.
+  // Dom0 pre-creating the shared prefix leaves dom3 under budget.
+  (void)store_.Write("/local/domain/3", "", hv::kDom0);
+  EXPECT_TRUE(store_.Write("/local/domain/3/data/x", "v", 3).ok());
+  EXPECT_EQ(store_.owner_nodes(3), 2);
+  // Overwrites create nothing and are always admitted.
+  EXPECT_TRUE(store_.Write("/local/domain/3/data/x", "v2", 3).ok());
+  // Dom0 is exempt from quotas entirely.
+  EXPECT_TRUE(store_.Write("/local/domain/0/a/b/c/d/e/f", "v", hv::kDom0).ok());
+}
+
+TEST_P(StorePolicyTest, QuotaPrecheckRejectsTxnBeforeApplyingAnything) {
+  store_.set_node_quota(3);
+  (void)store_.Write("/local/domain/4", "", hv::kDom0);
+  TxnId txn = store_.TxBegin();
+  (void)store_.Write("/local/domain/4/a", "1", 4, txn);
+  (void)store_.Write("/local/domain/4/b", "2", 4, txn);
+  (void)store_.Write("/local/domain/4/c/d", "3", 4, txn);  // 4th+5th node
+  std::vector<WatchHit> hits;
+  lv::Status commit = store_.TxCommit(txn, false, &hits);
+  EXPECT_EQ(commit.code(), ErrorCode::kQuotaExceeded);
+  // Nothing applied, no watch fired, txn discarded.
+  EXPECT_FALSE(store_.Exists("/local/domain/4/a"));
+  EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(store_.open_txns(), 0);
+  EXPECT_EQ(store_.owner_nodes(4), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, StorePolicyTest,
+                         ::testing::Values(StorePolicy::kLegacy, StorePolicy::kIndexed),
+                         [](const ::testing::TestParamInfo<StorePolicy>& info) {
+                           return StorePolicyName(info.param);
+                         });
+
+// --- Indexed fast path: the effort actually drops ----------------------------
+
+TEST(StoreIndexedTest, UniqueNameIsOneProbe) {
+  Store store(StorePolicy::kIndexed);
+  for (int i = 1; i <= 50; ++i) {
+    (void)store.Write(lv::StrFormat("/local/domain/%d/name", i), lv::StrFormat("vm%d", i),
+                      hv::kDom0);
+  }
+  EXPECT_TRUE(store.CheckUniqueName("fresh").ok());
+  EXPECT_EQ(store.last_effort().names_compared, 1);
+  EXPECT_EQ(store.CheckUniqueName("vm17").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(store.last_effort().names_compared, 1);
+  // Renames and removals keep the index honest.
+  (void)store.Write("/local/domain/17/name", "renamed", hv::kDom0);
+  EXPECT_TRUE(store.CheckUniqueName("vm17").ok());
+  (void)store.Rm("/local/domain/23");
+  EXPECT_TRUE(store.CheckUniqueName("vm23").ok());
+}
+
+TEST(StoreIndexedTest, WatchChecksAreDepthBoundedNotWatchBound) {
+  Store store(StorePolicy::kIndexed);
+  for (int i = 0; i < 100; ++i) {
+    store.AddWatch(i, lv::StrFormat("/w/%d", i), "t");
+  }
+  std::vector<WatchHit> hits;
+  (void)store.Write("/unrelated", "x", hv::kDom0, kNoTxn, &hits);
+  // One bucket probe per ancestor prefix ("unrelated", "") — not 100 scans.
+  EXPECT_EQ(store.last_effort().watch_checks, 2);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(StoreIndexedTest, ExistingPathLookupIsOneProbe) {
+  Store store(StorePolicy::kIndexed);
+  (void)store.Write("/a/b/c/d/e", "v", hv::kDom0);
+  (void)store.Read("/a/b/c/d/e");
+  EXPECT_EQ(store.last_effort().nodes_visited, 1);
+}
+
 }  // namespace
 }  // namespace xs
