@@ -33,12 +33,18 @@ const char* FlightVerb(FaultKind kind) {
 void FaultInjector::Arm() {
   LV_CHECK_MSG(!armed_, "FaultInjector armed twice");
   armed_ = true;
-  for (const FaultEvent& ev : plan_.events) {
-    engine_->Schedule(ev.at, [this, ev] { Inject(ev); });
+  // One log slot per event, claimed at arm time: the log reads identically
+  // however the events are spread across shard engines.
+  log_.assign(plan_.events.size(), std::string());
+  for (size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& ev = plan_.events[i];
+    sim::Engine* engine = engine_resolver_ ? engine_resolver_(ev) : engine_;
+    engine->Schedule(ev.at, [this, engine, ev, i] { Inject(engine, ev, i); });
   }
 }
 
-void FaultInjector::Inject(const FaultEvent& ev) {
+void FaultInjector::Inject(sim::Engine* engine, const FaultEvent& ev,
+                           size_t slot) {
   bool handled = true;
   switch (ev.kind) {
     case FaultKind::kNodeCrash:
@@ -87,17 +93,18 @@ void FaultInjector::Inject(const FaultEvent& ev) {
   // Log with the actual injection time (arm time + offset), so concatenated
   // logs from one engine run are globally ordered.
   FaultEvent stamped = ev;
-  stamped.at = lv::Duration::Nanos(engine_->now().ns());
+  stamped.at = lv::Duration::Nanos(engine->now().ns());
   std::string line = stamped.ToString();
   if (!handled) {
     line += " unhandled";
   }
-  log_.push_back(line);
-  ++injected_;
+  log_[slot] = std::move(line);
+  injected_.fetch_add(1, std::memory_order_relaxed);
   // Injections have no causal parent (they come from outside the system);
   // the flight ring still anchors "what hit this node, when".
-  obs::FlightRecorder::Get().Record(ev.node, {}, "faults", FlightVerb(ev.kind),
-                                    handled);
+  const int ring = ring_resolver_ ? ring_resolver_(ev) : ev.node;
+  obs::FlightRecorder::Get().Record(ring, {}, "faults", FlightVerb(ev.kind),
+                                    handled, ev.node);
   LV_DEBUG("faults", "%s", line.c_str());
   if (targets_.after_inject) {
     targets_.after_inject(ev);

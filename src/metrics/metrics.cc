@@ -55,6 +55,7 @@ double Histogram::BucketHi(int index) {
 }
 
 void Histogram::Record(double x) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (counts_.empty()) {
     counts_.assign(kTotalBuckets, 0);
   }
@@ -71,6 +72,7 @@ void Histogram::Record(double x) {
 
 double Histogram::Quantile(double q) const {
   LV_CHECK(q >= 0.0 && q <= 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) {
     return 0.0;
   }
@@ -99,6 +101,7 @@ double Histogram::Quantile(double q) const {
 }
 
 void Histogram::Merge(const Histogram& other) {
+  std::scoped_lock lock(mu_, other.mu_);
   if (other.count_ == 0) {
     return;
   }
@@ -120,6 +123,7 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   count_ = 0;
   sum_ = 0.0;
   min_ = 0.0;
@@ -128,6 +132,7 @@ void Histogram::Reset() {
 }
 
 std::vector<Histogram::Bucket> Histogram::NonEmptyBuckets() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Bucket> out;
   if (count_ == 0) {
     return out;
@@ -146,34 +151,43 @@ Registry& Registry::Get() {
   return *registry;
 }
 
-Counter& Registry::GetCounter(const std::string& name) { return counters_[name]; }
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
 
-Gauge& Registry::GetGauge(const std::string& name) { return gauges_[name]; }
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[name];
+}
 
 Histogram& Registry::GetHistogram(const std::string& name, const std::string& unit) {
-  auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
-    it = histograms_.emplace(name, Histogram(unit)).first;
-  }
-  return it->second;
+  std::lock_guard<std::mutex> lock(mu_);
+  // try_emplace constructs in place — Histogram is non-movable (it owns a
+  // mutex) and handles must never be invalidated anyway.
+  return histograms_.try_emplace(name, unit).first->second;
 }
 
 const Counter* Registry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* Registry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const Histogram* Registry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 Snapshot Registry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -203,6 +217,7 @@ Snapshot Registry::TakeSnapshot() const {
 }
 
 void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) {
     c.Reset();
   }

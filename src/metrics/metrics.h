@@ -26,13 +26,23 @@
 // `toolstack.chaos.create_ms`). Histograms carry a unit suffix in the name
 // (`_ms`, `_gbps`) and optionally a unit string for exporters.
 //
-// Threading: the simulation is single-threaded; like the Tracer, the
-// registry is not thread-safe.
+// Threading: the registry is the one piece of state that sharded runs
+// (sim/shard.h) share across threads, so it is thread-safe where sharing
+// actually happens: counter/gauge updates are atomic (relaxed — integral
+// increments commute exactly, so totals are deterministic regardless of
+// interleaving), histograms serialize records behind an internal mutex
+// (bucket counts and count/min/max are exact and order-independent; only
+// `sum` accumulates in interleaving order, so differential oracles compare
+// the former, not the latter), and registry lookups lock the maps. Simple
+// read accessors stay unlocked — reports read them only when the shards
+// are quiescent.
 #pragma once
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,27 +50,36 @@
 
 namespace metrics {
 
+namespace internal {
+// fetch_add for doubles without relying on C++20 atomic<double> arithmetic.
+inline void AtomicAdd(std::atomic<double>& v, double delta) {
+  double cur = v.load(std::memory_order_relaxed);
+  while (!v.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace internal
+
 // Monotonically increasing count of events (ops, bytes, pages, ...).
 class Counter {
  public:
-  void Inc(double delta = 1.0) { value_ += delta; }
-  double value() const { return value_; }
-  void Reset() { value_ = 0.0; }
+  void Inc(double delta = 1.0) { internal::AtomicAdd(value_, delta); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 // A value that can go up and down (pool sizes, pages in use, ...).
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  void Add(double delta) { value_ += delta; }
-  double value() const { return value_; }
-  void Reset() { value_ = 0.0; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) { internal::AtomicAdd(value_, delta); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 // HDR-style log-bucketed histogram: fixed memory, bounded relative error.
@@ -88,6 +107,8 @@ class Histogram {
   static constexpr double kMaxRelativeError = 1.0 / (2 * kSubBuckets);
 
   explicit Histogram(std::string unit = "") : unit_(std::move(unit)) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
 
   void Record(double x);
   void RecordDuration(lv::Duration d) { Record(d.ms()); }
@@ -129,6 +150,9 @@ class Histogram {
   static double BucketLo(int index);
   static double BucketHi(int index);
 
+  // Serializes Record/Merge/Reset and the bucket-walking queries; the
+  // scalar accessors above are quiescent-read-only by contract.
+  mutable std::mutex mu_;
   std::string unit_;
   int64_t count_ = 0;
   double sum_ = 0.0;
@@ -189,6 +213,9 @@ class Registry {
 
  private:
   Registry() = default;
+  // Guards the maps (insertion); the values themselves are individually
+  // thread-safe, and handles remain valid because map nodes never move.
+  mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

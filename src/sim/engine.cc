@@ -42,9 +42,38 @@ EventHandle Engine::ScheduleAt(TimePoint when, std::function<void()> fn) {
   ev->seq = next_seq_++;
   ev->fn = std::move(fn);
   ev->state = std::make_shared<EventHandle::State>();
+  ev->state->owner = this;
   EventHandle handle{std::weak_ptr<EventHandle::State>(ev->state)};
   queue_.push(std::move(ev));
   return handle;
+}
+
+void Engine::NoteCancelled() {
+  ++cancelled_pending_;
+  // Lazy compaction: once dead entries dominate, the heap mostly shuffles
+  // garbage — rebuild it. The floor keeps tiny queues (where pops drain the
+  // dead entries for free) from compacting on every other Cancel.
+  if (queue_.size() >= 64 && cancelled_pending_ * 2 > queue_.size()) {
+    Compact();
+  }
+}
+
+void Engine::Compact() {
+  std::vector<std::unique_ptr<Event>> live;
+  live.reserve(queue_.size() - cancelled_pending_);
+  while (!queue_.empty()) {
+    auto& top = const_cast<std::unique_ptr<Event>&>(queue_.top());
+    std::unique_ptr<Event> ev = std::move(top);
+    queue_.pop();
+    if (!ev->state->cancelled) {
+      live.push_back(std::move(ev));
+    } else {
+      ev->state->owner = nullptr;
+    }
+  }
+  queue_ = decltype(queue_)(Later{}, std::move(live));
+  cancelled_pending_ = 0;
+  ++compactions_;
 }
 
 void Engine::Spawn(Co<void> task) {
@@ -70,11 +99,43 @@ std::unique_ptr<Engine::Event> Engine::PopNext() {
     auto& top = const_cast<std::unique_ptr<Event>&>(queue_.top());
     std::unique_ptr<Event> ev = std::move(top);
     queue_.pop();
+    ev->state->owner = nullptr;
     if (!ev->state->cancelled) {
       return ev;
     }
+    --cancelled_pending_;
   }
   return nullptr;
+}
+
+std::optional<TimePoint> Engine::NextEventTime() {
+  while (!queue_.empty()) {
+    if (!queue_.top()->state->cancelled) {
+      return queue_.top()->when;
+    }
+    auto& top = const_cast<std::unique_ptr<Event>&>(queue_.top());
+    std::unique_ptr<Event> dead = std::move(top);
+    queue_.pop();
+    dead->state->owner = nullptr;
+    --cancelled_pending_;
+  }
+  return std::nullopt;
+}
+
+uint64_t Engine::ProcessBefore(TimePoint t) {
+  uint64_t count = 0;
+  while (true) {
+    std::optional<TimePoint> next = NextEventTime();
+    if (!next || *next >= t) {
+      return count;
+    }
+    std::unique_ptr<Event> ev = PopNext();
+    now_ = ev->when;
+    ++processed_;
+    ++count;
+    trace::Count("engine.events", 1);
+    ev->fn();
+  }
 }
 
 bool Engine::Step() {
@@ -102,6 +163,7 @@ void Engine::RunUntil(TimePoint t) {
     }
     if (ev->when > t) {
       // Put it back; it stays pending beyond the horizon.
+      ev->state->owner = this;
       queue_.push(std::move(ev));
       break;
     }

@@ -7,6 +7,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -19,22 +20,26 @@ namespace sim {
 using lv::Duration;
 using lv::TimePoint;
 
+class Engine;
+
 // Handle to a scheduled event; allows cancellation (used by the CPU
 // scheduler to re-plan core completion events).
 class EventHandle {
  public:
   EventHandle() = default;
-  void Cancel() {
-    if (auto s = state_.lock()) {
-      s->cancelled = true;
-    }
-  }
+  // Defined after Engine: a first-time Cancel tells the owning engine so it
+  // can compact the queue once dead entries dominate.
+  inline void Cancel();
   bool valid() const { return !state_.expired(); }
 
  private:
   friend class Engine;
   struct State {
     bool cancelled = false;
+    // Owning engine while the event sits in the queue; cleared when the
+    // event is popped (cancelling a running event is a no-op for the
+    // dead-entry bookkeeping).
+    Engine* owner = nullptr;
   };
   explicit EventHandle(std::weak_ptr<State> s) : state_(std::move(s)) {}
   std::weak_ptr<State> state_;
@@ -81,10 +86,28 @@ class Engine {
   // Processes a single event. Returns false if the queue was empty.
   bool Step();
 
+  // Processes every event strictly before `t` and stops WITHOUT bumping the
+  // clock to t — now() stays at the last processed event. This is the shard
+  // epoch primitive (sim/shard.h): the final clock of a sharded run must be
+  // the time of the last real event, not an epoch-grid artifact. Returns the
+  // number of events processed.
+  uint64_t ProcessBefore(TimePoint t);
+
+  // Timestamp of the next live (non-cancelled) event; nullopt when drained.
+  // Prunes dead entries from the top of the queue as a side effect.
+  std::optional<TimePoint> NextEventTime();
+
   size_t pending_events() const;
   uint64_t processed_events() const { return processed_; }
 
+  // Cancelled entries still sitting in the queue. EventHandle::Cancel only
+  // marks; the entry stays until popped or until lazy compaction rebuilds
+  // the heap (triggered when dead entries exceed half the queue).
+  size_t cancelled_pending() const { return cancelled_pending_; }
+  uint64_t compactions() const { return compactions_; }
+
  private:
+  friend class EventHandle;
   struct Event {
     TimePoint when;
     uint64_t seq;
@@ -103,6 +126,12 @@ class Engine {
   // Pops the next non-cancelled event, or nullptr.
   std::unique_ptr<Event> PopNext();
 
+  // First-time Cancel of a queued event; compacts when dead entries exceed
+  // half the queue (and the queue is big enough for the rebuild to pay off).
+  void NoteCancelled();
+  // Rebuilds the heap without the cancelled entries.
+  void Compact();
+
   // Deregisters a detached frame that reached its final suspend (see
   // PromiseBase::reap).
   static void ReapDetached(void* ctx, uint64_t id);
@@ -110,6 +139,8 @@ class Engine {
   TimePoint now_;
   uint64_t next_seq_ = 0;
   uint64_t processed_ = 0;
+  size_t cancelled_pending_ = 0;
+  uint64_t compactions_ = 0;
   std::priority_queue<std::unique_ptr<Event>, std::vector<std::unique_ptr<Event>>, Later> queue_;
   lv::Rng rng_;
   // Live detached frames by spawn order: a frame still parked on the queue
@@ -118,5 +149,16 @@ class Engine {
   std::map<uint64_t, void*> detached_frames_;
   uint64_t next_detached_id_ = 0;
 };
+
+inline void EventHandle::Cancel() {
+  if (auto s = state_.lock()) {
+    if (!s->cancelled) {
+      s->cancelled = true;
+      if (s->owner != nullptr) {
+        s->owner->NoteCancelled();
+      }
+    }
+  }
+}
 
 }  // namespace sim

@@ -1,0 +1,269 @@
+#include "src/sim/shard.h"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <thread>
+
+#include "src/base/assert.h"
+#include "src/base/log.h"
+#include "src/obs/obs.h"
+#include "src/trace/trace.h"
+
+namespace sim {
+
+namespace {
+
+// splitmix64: derives statistically independent seeds from the root seed so
+// each shard engine and each domain gets its own stream.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+TimePoint EngineNow(void* ctx) { return static_cast<Engine*>(ctx)->now(); }
+
+double WallSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+ShardGroup::ShardGroup(uint64_t seed, int num_domains, int num_shards,
+                       Duration lookahead)
+    : num_domains_(num_domains), lookahead_(lookahead) {
+  LV_CHECK_MSG(num_domains >= 1, "shard group needs at least one domain");
+  LV_CHECK_MSG(num_shards >= 1 && num_shards <= num_domains,
+               "shard count must be in [1, num_domains]");
+  LV_CHECK_MSG(lookahead > Duration(), "lookahead must be positive");
+  engines_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    engines_.push_back(
+        std::make_unique<Engine>(SplitMix64(seed ^ static_cast<uint64_t>(s))));
+    outboxes_.push_back(std::make_unique<Outbox>());
+  }
+  domain_rngs_.reserve(static_cast<size_t>(num_domains));
+  for (int d = 0; d < num_domains; ++d) {
+    domain_rngs_.emplace_back(
+        SplitMix64(seed ^ SplitMix64(static_cast<uint64_t>(d) + 1)));
+  }
+  post_seq_.assign(static_cast<size_t>(num_domains), 0);
+  stats_.assign(static_cast<size_t>(num_shards), ShardStats{});
+}
+
+ShardGroup::~ShardGroup() {
+  // Undelivered messages (a run that hit its horizon) own their closures.
+  for (auto& box : outboxes_) {
+    Message* m = nullptr;
+    while (box->ring.TryPop(m)) {
+      delete m;
+    }
+    for (Message* o : box->overflow) {
+      delete o;
+    }
+    box->overflow.clear();
+  }
+}
+
+void ShardGroup::Post(int src, int dst, Duration delay,
+                      std::function<void()> fn) {
+  LV_CHECK_MSG(src >= 0 && src < num_domains_ && dst >= 0 && dst < num_domains_,
+               "bad mailbox domain");
+  LV_CHECK_MSG(delay >= lookahead_,
+               "cross-domain delay below the conservative lookahead");
+  auto* m = new Message;
+  m->when = domain_engine(src).now() + delay;
+  m->src = src;
+  m->dst = dst;
+  m->seq = post_seq_[static_cast<size_t>(src)]++;
+  m->fn = std::move(fn);
+  Outbox& box = *outboxes_[static_cast<size_t>(shard_of(src))];
+  if (!box.ring.TryPush(m)) {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.overflow.push_back(m);
+  }
+}
+
+TimePoint ShardGroup::max_now() const {
+  TimePoint t;
+  for (const auto& e : engines_) {
+    t = std::max(t, e->now());
+  }
+  return t;
+}
+
+TimePoint ShardGroup::GridAbove(TimePoint t) const {
+  // Smallest multiple of the lookahead strictly greater than t. Picking the
+  // epoch end this way keeps every processed event within `lookahead` of the
+  // epoch end (the conservative-safety requirement) while jumping over idle
+  // grid slots in O(1).
+  const int64_t l = lookahead_.ns();
+  const int64_t k = (t - TimePoint()).ns() / l;
+  return TimePoint() + Duration::Nanos((k + 1) * l);
+}
+
+void ShardGroup::DeliverMail() {
+  scratch_.clear();
+  for (auto& box : outboxes_) {
+    Message* m = nullptr;
+    while (box->ring.TryPop(m)) {
+      scratch_.push_back(m);
+    }
+    if (!box->overflow.empty()) {
+      std::lock_guard<std::mutex> lock(box->mu);
+      scratch_.insert(scratch_.end(), box->overflow.begin(),
+                      box->overflow.end());
+      box->overflow.clear();
+    }
+  }
+  if (scratch_.empty()) {
+    return;
+  }
+  // The total delivery order (when, src domain, seq) is independent of the
+  // domain→shard mapping; scheduling in this order hands each destination
+  // engine ascending sequence numbers, so its queue pops them identically
+  // whether messages came from one engine or four.
+  std::sort(scratch_.begin(), scratch_.end(),
+            [](const Message* a, const Message* b) {
+              if (a->when != b->when) {
+                return a->when < b->when;
+              }
+              if (a->src != b->src) {
+                return a->src < b->src;
+              }
+              return a->seq < b->seq;
+            });
+  for (Message* m : scratch_) {
+    domain_engine(m->dst).ScheduleAt(m->when, std::move(m->fn));
+    delete m;
+  }
+  delivered_ += scratch_.size();
+  scratch_.clear();
+}
+
+void ShardGroup::RunShardEpoch(int shard, TimePoint target) {
+  const auto t0 = std::chrono::steady_clock::now();
+  stats_[static_cast<size_t>(shard)].processed +=
+      engines_[static_cast<size_t>(shard)]->ProcessBefore(target);
+  stats_[static_cast<size_t>(shard)].busy_s += WallSince(t0);
+}
+
+void ShardGroup::EnterShardContext(int shard) {
+  Engine* e = engines_[static_cast<size_t>(shard)].get();
+  lv::Logger::AttachThreadClock(&EngineNow, e);
+  obs::FlightRecorder::AttachThreadClock(&EngineNow, e);
+  if (!captures_.empty()) {
+    trace::Tracer::SetThreadTracer(captures_[static_cast<size_t>(shard)].get());
+  }
+}
+
+void ShardGroup::ExitShardContext() {
+  lv::Logger::DetachThreadClock();
+  obs::FlightRecorder::DetachThreadClock();
+  trace::Tracer::SetThreadTracer(nullptr);
+}
+
+void ShardGroup::SetupTraceCapture() {
+  captures_.clear();
+  for (size_t s = 0; s < engines_.size(); ++s) {
+    captures_.push_back(trace::Tracer::NewCapture(trace::Tracer::Get()));
+    captures_.back()->AttachClock(&EngineNow, engines_[s].get());
+  }
+}
+
+void ShardGroup::MergeTraceCapture() {
+  trace::Tracer& global = trace::Tracer::Get();
+  for (auto& capture : captures_) {
+    global.MergeCapture(*capture);
+  }
+  captures_.clear();
+}
+
+bool ShardGroup::RunUntil(std::function<bool()> pred, Duration horizon) {
+  const TimePoint deadline =
+      horizon == Duration::Max() ? TimePoint::Max() : max_now() + horizon;
+  const int S = num_shards();
+  const auto wall0 = std::chrono::steady_clock::now();
+  const bool capture = trace::Tracer::Get().enabled();
+  if (capture) {
+    SetupTraceCapture();
+  }
+
+  std::barrier<> start_barrier(S);
+  std::barrier<> end_barrier(S);
+  std::vector<std::thread> workers;
+  for (int s = 1; s < S; ++s) {
+    workers.emplace_back([this, s, &start_barrier, &end_barrier] {
+      EnterShardContext(s);
+      for (;;) {
+        const auto w0 = std::chrono::steady_clock::now();
+        start_barrier.arrive_and_wait();
+        stats_[static_cast<size_t>(s)].stall_s += WallSince(w0);
+        if (cmd_.exit) {
+          break;
+        }
+        RunShardEpoch(s, cmd_.target);
+        end_barrier.arrive_and_wait();
+      }
+      ExitShardContext();
+    });
+  }
+  EnterShardContext(0);
+
+  bool result = false;
+  for (;;) {
+    // All shards are parked here, so delivering mail, reading cross-shard
+    // state in pred() and peeking every queue are race-free.
+    DeliverMail();
+    if (pred && pred()) {
+      result = true;
+      break;
+    }
+    std::optional<TimePoint> next;
+    for (auto& e : engines_) {
+      std::optional<TimePoint> t = e->NextEventTime();
+      if (t && (!next || *t < *next)) {
+        next = t;
+      }
+    }
+    if (!next || *next > deadline) {
+      result = pred ? pred() : !next;
+      break;
+    }
+    cmd_ = EpochCmd{GridAbove(*next), false};
+    ++epochs_;
+    if (S == 1) {
+      RunShardEpoch(0, cmd_.target);
+    } else {
+      start_barrier.arrive_and_wait();
+      RunShardEpoch(0, cmd_.target);
+      end_barrier.arrive_and_wait();
+    }
+  }
+
+  if (S > 1) {
+    cmd_ = EpochCmd{TimePoint(), true};
+    start_barrier.arrive_and_wait();
+    for (std::thread& t : workers) {
+      t.join();
+    }
+  }
+  ExitShardContext();
+  const double wall = WallSince(wall0);
+  run_wall_s_ += wall;
+  // The coordinator's non-processing time is coordination + barrier waits.
+  stats_[0].stall_s = std::max(0.0, run_wall_s_ - stats_[0].busy_s);
+  if (capture) {
+    MergeTraceCapture();
+  }
+  return result;
+}
+
+void ShardGroup::RunToQuiescence(Duration horizon) {
+  (void)RunUntil(nullptr, horizon);
+}
+
+}  // namespace sim

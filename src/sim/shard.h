@@ -1,0 +1,156 @@
+// Sharded parallel simulation: N sim::Engines driven in lockstep epochs on
+// real threads, synchronized by conservative lookahead.
+//
+// Model. The simulated world is split into `num_domains` logical time
+// domains (the cluster maps one domain per node plus one control domain).
+// Domains are assigned round-robin onto `num_shards` engines; every engine
+// keeps its own event queue, clock and per-domain RNG streams derived from
+// the root seed. Cross-domain interaction goes exclusively through Post():
+// a timestamped closure carried by a lock-free SPSC mailbox (sim/spsc.h)
+// and delivered on the destination engine. Post() requires
+// `delay >= lookahead`, where lookahead is the minimum latency of the
+// inter-node links / migration fabric — the physical reason a shard can
+// run `lookahead` ahead of its neighbours without missing anything.
+//
+// Epoch scheme (conservative, BSP-style). RunUntil() repeats:
+//   1. deliver all posted messages, sorted by (when, src-domain, seq), onto
+//      their destination engines,
+//   2. evaluate the caller's predicate (all shards parked, safe to read),
+//   3. pick the epoch end E: the smallest grid point k*lookahead strictly
+//      above the globally earliest pending event,
+//   4. every shard processes its events with when < E in parallel, then
+//      waits at a barrier.
+// Safety sketch: step 3 guarantees every event processed in the epoch has
+// when >= E - lookahead, so any message it posts is delivered at
+// when + delay >= E — always a future epoch, never the running one. The
+// grid alignment also implements deterministic time jumps: an idle stretch
+// costs one barrier, not one barrier per lookahead quantum.
+//
+// Determinism. Same-seed runs are byte-identical regardless of the shard
+// count because (a) message delivery order is the total order
+// (when, src-domain, seq), independent of which engine hosts a domain,
+// (b) domains never share mutable state except commutative singletons
+// (metrics counters), and (c) per-domain RNG/op-id streams replace any
+// engine-global ones. `num_shards == 1` runs the same algorithm inline on
+// the caller's thread — that is the single-engine reference the
+// differential oracle (tests/sim_test.cc, tests/cluster_test.cc) compares
+// 2- and 4-shard runs against, mirroring the PR 9 StorePolicy pattern.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/sim/engine.h"
+#include "src/sim/spsc.h"
+
+namespace trace {
+class Tracer;
+}
+
+namespace sim {
+
+// Which simulation topology a cluster run executes on. kSingle is the
+// untouched legacy path (one engine, zero new machinery) and keeps every
+// fig* stdout and committed baseline byte-identical; kSharded opts into the
+// per-domain engines above.
+enum class TopologyPolicy { kSingle, kSharded };
+
+// Per-shard execution accounting, exported by bench/fleet_density's
+// `parallel` BENCH section. Wall-clock fields are real time (honest,
+// machine-dependent); processed counts are deterministic.
+struct ShardStats {
+  uint64_t processed = 0;  // events executed during group runs
+  double busy_s = 0.0;     // wall seconds inside event processing
+  double stall_s = 0.0;    // wall seconds parked at epoch barriers
+};
+
+class ShardGroup {
+ public:
+  ShardGroup(uint64_t seed, int num_domains, int num_shards, Duration lookahead);
+  ~ShardGroup();
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  int num_domains() const { return num_domains_; }
+  int num_shards() const { return static_cast<int>(engines_.size()); }
+  Duration lookahead() const { return lookahead_; }
+
+  int shard_of(int domain) const { return domain % num_shards(); }
+  Engine& shard_engine(int shard) { return *engines_[shard]; }
+  Engine& domain_engine(int domain) { return *engines_[shard_of(domain)]; }
+  // Deterministic per-domain random stream (splitmix-derived from the root
+  // seed); never map-dependent, unlike Engine::rng() on a shared engine.
+  lv::Rng& domain_rng(int domain) { return domain_rngs_[domain]; }
+
+  // Executes `fn` on dst's engine at domain_engine(src).now() + delay.
+  // Requires delay >= lookahead. May be called from the shard thread that
+  // owns `src` while a run is in progress, or from the coordinator thread
+  // between runs; delivery happens at the next epoch barrier, merged into
+  // the destination queue in (when, src, seq) order.
+  void Post(int src, int dst, Duration delay, std::function<void()> fn);
+
+  // Drives all shards in lockstep epochs until pred() holds (checked at
+  // barriers), every queue drains, or `horizon` of simulated time passes
+  // (measured from max_now()). Returns pred()'s final value — the same
+  // contract as sim::RunUntilCondition.
+  bool RunUntil(std::function<bool()> pred, Duration horizon);
+  // Runs until every queue drains (bounded by horizon).
+  void RunToQuiescence(Duration horizon);
+
+  // Clock of the most-advanced shard (the run's logical end time).
+  TimePoint max_now() const;
+
+  // Accounting (stable only between runs).
+  const std::vector<ShardStats>& shard_stats() const { return stats_; }
+  uint64_t epochs() const { return epochs_; }
+  uint64_t messages_delivered() const { return delivered_; }
+  double run_wall_s() const { return run_wall_s_; }
+
+ private:
+  struct Message {
+    TimePoint when;
+    int32_t src = 0;
+    int32_t dst = 0;
+    uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+  // One per shard, written only by that shard's thread. Overflow keeps the
+  // producer non-blocking when a burst outruns the ring.
+  struct Outbox {
+    SpscRing<Message*> ring{1024};
+    std::mutex mu;
+    std::vector<Message*> overflow;
+  };
+  struct EpochCmd {
+    TimePoint target;
+    bool exit = false;
+  };
+
+  TimePoint GridAbove(TimePoint t) const;
+  void DeliverMail();
+  void RunShardEpoch(int shard, TimePoint target);
+  void EnterShardContext(int shard);
+  void ExitShardContext();
+  void SetupTraceCapture();
+  void MergeTraceCapture();
+
+  int num_domains_;
+  Duration lookahead_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<lv::Rng> domain_rngs_;
+  std::vector<std::unique_ptr<Outbox>> outboxes_;
+  std::vector<uint64_t> post_seq_;  // per src domain, owner-thread written
+  std::vector<ShardStats> stats_;
+  std::vector<std::unique_ptr<trace::Tracer>> captures_;
+  EpochCmd cmd_;  // written by the coordinator, read by workers (barrier-ordered)
+  uint64_t epochs_ = 0;
+  uint64_t delivered_ = 0;
+  double run_wall_s_ = 0.0;
+  std::vector<Message*> scratch_;  // drain buffer, coordinator-only
+};
+
+}  // namespace sim

@@ -1,0 +1,72 @@
+// Lock-free single-producer/single-consumer ring buffer, the transport under
+// the cross-shard mailboxes (sim/shard.h). One shard thread pushes while the
+// coordinator pops at epoch barriers; the acquire/release pair on the two
+// indices is the only synchronization on the fast path (the same shape as
+// openal-soft's common/ringbuffer.h mixer handoff).
+//
+// Capacity is rounded up to a power of two. Push fails (returns false) when
+// the ring is full — callers keep an overflow side-channel rather than
+// blocking, because a shard thread must never wait mid-epoch.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  // Producer side. Returns false when full (the slot is untouched).
+  bool TryPush(T value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail == slots_.size()) {
+      return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when empty.
+  bool TryPop(T& out) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (head == tail) {
+      return false;
+    }
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Approximate (exact when producer and consumer are quiescent).
+  size_t size() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::atomic<size_t> head_{0};  // next write (producer-owned)
+  std::atomic<size_t> tail_{0};  // next read (consumer-owned)
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+};
+
+}  // namespace sim
